@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: the table 1 system
+ * banner and default experiment settings used across figures.
+ */
+
+#ifndef CHERIVOKE_BENCH_BENCH_COMMON_HH
+#define CHERIVOKE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+
+namespace cherivoke {
+namespace bench {
+
+/** Print the table 1 system banner every bench leads with. */
+inline void
+printSystems(const char *title)
+{
+    std::printf("==============================================\n");
+    std::printf("%s\n", title);
+    std::printf("==============================================\n");
+    std::printf("Systems (paper table 1):\n");
+    std::printf("  x86-64 : 2.9 GHz OoO, AVX2, 8 MiB LLC, "
+                "DDR4 19405 MiB/s read\n");
+    std::printf("  CHERI  : 100 MHz FPGA, in-order, 256 KiB LLC, "
+                "DDR2\n\n");
+}
+
+/** Default experiment configuration used by the figure benches. */
+inline sim::ExperimentConfig
+defaultConfig()
+{
+    sim::ExperimentConfig cfg;
+    cfg.quarantineFraction = 0.25;
+    cfg.kernel = revoke::SweepKernel::Vector;
+    cfg.scale = 1.0 / 128;
+    cfg.durationSec = 0.4;
+    cfg.seed = 42;
+    return cfg;
+}
+
+} // namespace bench
+} // namespace cherivoke
+
+#endif // CHERIVOKE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 9 reproduction: normalised execution time for the two
+ * worst-case workloads (xalancbmk, omnetpp) as the target heap
+ * overhead (quarantine fraction) varies from 10% to 200%. The paper's
+ * default 25% setting is marked.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "stats/table.hh"
+
+using namespace cherivoke;
+
+int
+main()
+{
+    bench::printSystems("Figure 9: Execution time vs heap overhead "
+                        "(xalancbmk, omnetpp)");
+
+    stats::TextTable table({"heap overhead", "xalancbmk", "omnetpp"});
+    for (double q : {0.10, 0.20, 0.25, 0.40, 0.60, 0.80, 1.00, 1.50,
+                     2.00}) {
+        sim::ExperimentConfig cfg = bench::defaultConfig();
+        cfg.quarantineFraction = q;
+        const sim::BenchResult xalan = sim::runBenchmark(
+            workload::profileFor("xalancbmk"), cfg);
+        const sim::BenchResult omnetpp = sim::runBenchmark(
+            workload::profileFor("omnetpp"), cfg);
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.0f%%%s", q * 100,
+                      q == 0.25 ? " (default)" : "");
+        table.addRow({label,
+                      stats::TextTable::num(xalan.normalizedTime, 3),
+                      stats::TextTable::num(omnetpp.normalizedTime,
+                                            3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Higher heap overhead -> sweeps amortise over more "
+                "freed bytes -> lower runtime overhead\n(and for "
+                "xalancbmk, less temporal fragmentation in the "
+                "cache, §6.4).\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * CHERIvoke vs conservative garbage collection (paper §7.3), on the
+ * same linked-structure workload:
+ *
+ *  - the Boehm-style collector must *walk the object graph* to find
+ *    what is dead, and an integer that happens to equal an address
+ *    keeps garbage alive forever;
+ *  - CHERIvoke is told what is dead (the program's frees), sweeps
+ *    memory linearly, and cannot be confused by integers.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "alloc/cherivoke_alloc.hh"
+#include "baseline/boehm_gc.hh"
+#include "revoke/revoker.hh"
+#include "support/rng.hh"
+
+using namespace cherivoke;
+
+namespace {
+
+constexpr int kNodes = 2000;
+
+void
+runGc()
+{
+    std::printf("--- Boehm-style conservative GC ---\n");
+    mem::AddressSpace space;
+    alloc::DlAllocator dl(space);
+    baseline::BoehmGc gc(space, dl);
+    auto &memory = space.memory();
+
+    // A linked list rooted in a global, plus unreachable islands.
+    cap::Capability head = gc.gcAlloc(64);
+    memory.writeU64(mem::kGlobalsBase, head.base());
+    cap::Capability prev = head;
+    for (int i = 0; i < kNodes / 2; ++i) {
+        cap::Capability node = gc.gcAlloc(64);
+        memory.writeU64(prev.base(), node.base());
+        prev = node;
+    }
+    std::vector<uint64_t> island_addrs;
+    for (int i = 0; i < kNodes / 2; ++i)
+        island_addrs.push_back(gc.gcAlloc(64).base());
+
+    // An innocent integer that happens to equal an island address.
+    memory.writeU64(mem::kStackBase + 256, island_addrs[0]);
+
+    const baseline::GcStats stats = gc.collect();
+    std::printf("collect: %llu words scanned, %llu mark visits, "
+                "%llu objects freed\n",
+                static_cast<unsigned long long>(stats.wordsScanned),
+                static_cast<unsigned long long>(stats.markVisits),
+                static_cast<unsigned long long>(stats.objectsFreed));
+    std::printf("unreachable islands: %d; freed: %llu "
+                "(one retained by an integer that looks like a "
+                "pointer)\n",
+                kNodes / 2,
+                static_cast<unsigned long long>(stats.objectsFreed));
+}
+
+void
+runCherivoke()
+{
+    std::printf("\n--- CHERIvoke ---\n");
+    mem::AddressSpace space;
+    alloc::CherivokeConfig cfg;
+    cfg.minQuarantineBytes = 16;
+    alloc::CherivokeAllocator heap(space, cfg);
+    revoke::Revoker revoker(heap, space);
+    auto &memory = space.memory();
+
+    cap::Capability head = heap.malloc(64);
+    memory.writeCap(mem::kGlobalsBase, head);
+    cap::Capability prev = head;
+    std::vector<cap::Capability> nodes{head};
+    for (int i = 0; i < kNodes / 2; ++i) {
+        cap::Capability node = heap.malloc(64);
+        memory.storeCap(prev, prev.base(), node);
+        prev = node;
+        nodes.push_back(node);
+    }
+    std::vector<cap::Capability> islands;
+    for (int i = 0; i < kNodes / 2; ++i)
+        islands.push_back(heap.malloc(64));
+
+    // The same integer coincidence — irrelevant here: an integer
+    // carries no tag, so it cannot retain or access anything.
+    memory.writeU64(mem::kStackBase + 256, islands[0].base());
+
+    // The program frees the islands; CHERIvoke quarantines and
+    // sweeps — a linear pass, no graph walk.
+    for (auto &c : islands)
+        heap.free(c);
+    const revoke::EpochStats epoch = revoker.revokeNow();
+    std::printf("sweep: %llu bytes swept linearly, %llu caps "
+                "examined, %llu revoked\n",
+                static_cast<unsigned long long>(
+                    epoch.sweep.bytesSwept()),
+                static_cast<unsigned long long>(
+                    epoch.sweep.capsExamined),
+                static_cast<unsigned long long>(
+                    epoch.sweep.capsRevoked));
+    std::printf("all %d freed islands reclaimed; the integer "
+                "retained nothing\n",
+                kNodes / 2);
+    std::printf("live list intact: head tag = %d\n",
+                memory.readCap(mem::kGlobalsBase).tag());
+}
+
+} // namespace
+
+int
+main()
+{
+    runGc();
+    runCherivoke();
+    return 0;
+}

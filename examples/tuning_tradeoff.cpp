@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tuning walkthrough: the quarantine fraction trades heap growth for
+ * sweep frequency (paper §6.4, figure 9). Runs the paper's
+ * worst-case workload (xalancbmk) at several settings and prints the
+ * resulting time/memory pairs, so a deployer can pick a point on the
+ * curve.
+ *
+ * Run: ./tuning_tradeoff [benchmark-name]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+
+using namespace cherivoke;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "xalancbmk";
+    const workload::BenchmarkProfile &profile =
+        workload::profileFor(name);
+
+    std::printf("Quarantine tuning for '%s' "
+                "(free rate %.0f MiB/s, %.0f%% pages w/ pointers)\n\n",
+                profile.name.c_str(), profile.freeRateMiBps,
+                profile.pagesWithPointers * 100);
+
+    stats::TextTable table({"quarantine", "exec time", "memory",
+                            "sweeps", "sweep s/s"});
+    for (double q : {0.05, 0.10, 0.25, 0.50, 1.00, 2.00}) {
+        sim::ExperimentConfig cfg;
+        cfg.quarantineFraction = q;
+        cfg.scale = 1.0 / 128;
+        cfg.durationSec = 0.4;
+        const sim::BenchResult r = sim::runBenchmark(profile, cfg);
+        table.addRow({stats::TextTable::percent(q, 0),
+                      stats::TextTable::num(r.normalizedTime, 3),
+                      stats::TextTable::num(r.normalizedMemory, 3),
+                      std::to_string(r.run.revoker.epochs),
+                      stats::TextTable::num(r.sweepOverhead, 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Pick the smallest quarantine whose execution-time "
+                "column meets your budget;\nthe memory column is "
+                "what it costs (the paper defaults to 25%%).\n");
+    return 0;
+}

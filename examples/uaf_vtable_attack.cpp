@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The paper's figure 1 attack, end to end: a use-after-free on a
+ * C++-style object whose first word is a vtable pointer. The
+ * attacker reallocates the freed slot and plants a fake vtable;
+ * the victim's stale pointer then dispatches through attacker-
+ * controlled memory — unless CHERIvoke revokes it first.
+ *
+ * The scenario runs twice: once on a plain allocator (attack
+ * succeeds) and once under CHERIvoke (attack trapped).
+ */
+
+#include <cstdio>
+
+#include "alloc/cherivoke_alloc.hh"
+#include "revoke/revoker.hh"
+
+using namespace cherivoke;
+
+namespace {
+
+constexpr uint64_t kLegitVtable = 0x100D1500;  //!< "good" dispatch
+constexpr uint64_t kEvilVtable = 0x0BADF00D;   //!< attacker's table
+
+/** "Call" the object's virtual destructor: load the vtable pointer
+ *  through the (possibly stale) object capability. */
+uint64_t
+virtualDispatch(mem::TaggedMemory &memory, const cap::Capability &obj)
+{
+    return memory.loadU64(obj, obj.base());
+}
+
+void
+attackPlainAllocator()
+{
+    std::printf("--- plain dlmalloc (no temporal safety) ---\n");
+    mem::AddressSpace space;
+    alloc::DlAllocator heap(space);
+    auto &memory = space.memory();
+
+    // Victim object with its vtable pointer.
+    cap::Capability victim = heap.malloc(64);
+    memory.storeU64(victim, victim.base(), kLegitVtable);
+
+    // delete: the object dies, but a stale pointer copy remains in
+    // a global variable.
+    memory.writeCap(mem::kGlobalsBase, victim);
+    heap.free(victim);
+    const cap::Capability stale =
+        memory.readCap(mem::kGlobalsBase);
+
+    // Attacker reallocates the same memory and plants a fake vtable.
+    cap::Capability attacker = heap.malloc(64);
+    std::printf("attacker got %s memory (0x%llx)\n",
+                attacker.base() == stale.base() ? "the victim's"
+                                                : "different",
+                static_cast<unsigned long long>(attacker.base()));
+    memory.storeU64(attacker, attacker.base(), kEvilVtable);
+
+    // Second delete / virtual call through the stale pointer.
+    const uint64_t target = virtualDispatch(memory, stale);
+    std::printf("victim dispatches to 0x%llx — %s\n",
+                static_cast<unsigned long long>(target),
+                target == kEvilVtable
+                    ? "ATTACKER CONTROLS THE PROCESS"
+                    : "legitimate");
+}
+
+void
+attackCherivoke()
+{
+    std::printf("\n--- CHERIvoke (sweeping revocation) ---\n");
+    mem::AddressSpace space;
+    alloc::CherivokeConfig cfg;
+    cfg.minQuarantineBytes = 16;
+    alloc::CherivokeAllocator heap(space, cfg);
+    revoke::Revoker revoker(heap, space);
+    auto &memory = space.memory();
+
+    cap::Capability victim = heap.malloc(64);
+    memory.storeU64(victim, victim.base(), kLegitVtable);
+    // The stale pointer lives somewhere the program can reach it —
+    // here a global variable (sweeps cover globals, stack, heap,
+    // and registers).
+    memory.writeCap(mem::kGlobalsBase, victim);
+    heap.free(victim);
+
+    // The quarantine prevents immediate reuse; when the allocator
+    // wants the memory back, a sweep must run first.
+    revoker.revokeNow();
+    const cap::Capability stale =
+        memory.readCap(mem::kGlobalsBase);
+
+    cap::Capability attacker = heap.malloc(64);
+    std::printf("attacker got %s memory (0x%llx)\n",
+                attacker.base() == stale.base() ? "the victim's"
+                                                : "different",
+                static_cast<unsigned long long>(attacker.base()));
+    memory.storeU64(attacker, attacker.base(), kEvilVtable);
+
+    try {
+        const uint64_t target = virtualDispatch(memory, stale);
+        std::printf("ERROR: dispatch to 0x%llx succeeded!\n",
+                    static_cast<unsigned long long>(target));
+    } catch (const cap::CapFault &fault) {
+        std::printf("stale dispatch trapped: %s\n", fault.what());
+        std::printf("use-after-reallocation DEFEATED\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    attackPlainAllocator();
+    attackCherivoke();
+    return 0;
+}

@@ -1,0 +1,91 @@
+#include "alloc/cherivoke_alloc.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace alloc {
+
+CherivokeAllocator::CherivokeAllocator(mem::AddressSpace &space,
+                                       CherivokeConfig config)
+    : dl_(space, config.dl), shadow_(space.memory()), config_(config),
+      mem_(&space.memory())
+{
+    CHERIVOKE_ASSERT(config_.quarantineFraction > 0,
+                     "(quarantine fraction must be positive)");
+}
+
+void
+CherivokeAllocator::free(const cap::Capability &capability)
+{
+    const DlAllocator::QuarantinedChunk chunk =
+        dl_.quarantineFree(capability);
+    quarantine_.add(dl_, chunk.addr, chunk.size);
+}
+
+cap::Capability
+CherivokeAllocator::realloc(const cap::Capability &capability,
+                            uint64_t new_size)
+{
+    if (!capability.tag())
+        fatal("realloc() through an untagged capability");
+    const uint64_t old_payload = capability.base();
+    const uint64_t old_usable = dl_.usableSize(old_payload);
+    cap::Capability fresh = dl_.malloc(new_size);
+    // Copy preserving capability tags, as a CheriABI memcpy would,
+    // then quarantine the old allocation.
+    const uint64_t copy = std::min<uint64_t>(old_usable, new_size);
+    if (copy > 0) {
+        dl_.counters().counter("alloc.realloc_copied_bytes")
+            .increment(copy);
+        mem_->copyPreservingTags(fresh.base(), old_payload, copy);
+    }
+    free(capability);
+    return fresh;
+}
+
+bool
+CherivokeAllocator::needsSweep() const
+{
+    const uint64_t quarantined = quarantine_.totalBytes();
+    if (quarantined < config_.minQuarantineBytes)
+        return false;
+    const double live = static_cast<double>(dl_.liveBytes());
+    return static_cast<double>(quarantined) >=
+           config_.quarantineFraction * std::max(live, 1.0);
+}
+
+PaintStats
+CherivokeAllocator::prepareSweep()
+{
+    CHERIVOKE_ASSERT(!epochOpen(),
+                     "(prepareSweep with an epoch already open)");
+    ++sweeps_;
+    // Freeze: this epoch revokes exactly the frees made so far;
+    // later frees accumulate in a fresh quarantine for the next one.
+    frozen_ = std::move(quarantine_);
+    quarantine_ = Quarantine{};
+    PaintStats stats;
+    for (const QuarantineRun &run : frozen_.runs()) {
+        // Paint payload granules only; the run's header granule may
+        // legitimately hold the base of a live one-past-the-end
+        // capability of the previous allocation.
+        stats += shadow_.paint(run.addr + kChunkHeader,
+                               run.size - kChunkHeader);
+    }
+    return stats;
+}
+
+uint64_t
+CherivokeAllocator::finishSweep()
+{
+    for (const QuarantineRun &run : frozen_.runs()) {
+        shadow_.clear(run.addr + kChunkHeader,
+                      run.size - kChunkHeader);
+    }
+    return frozen_.release(dl_);
+}
+
+} // namespace alloc
+} // namespace cherivoke

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * dlmalloc_cherivoke (paper §5.2): the public temporal-safety
+ * allocator. free() quarantines instead of releasing; when the
+ * quarantine reaches a configurable fraction of the live heap a
+ * revocation sweep is due. The caller (revoke::Revoker, or a test)
+ * drives the prepare → sweep → finish sequence:
+ *
+ *     if (alloc.needsSweep()) {
+ *         alloc.prepareSweep();   // paint the shadow map
+ *         sweeper.sweep(...);     // clear dangling capability tags
+ *         alloc.finishSweep();    // unpaint, internal frees
+ *     }
+ */
+
+#ifndef CHERIVOKE_ALLOC_CHERIVOKE_ALLOC_HH
+#define CHERIVOKE_ALLOC_CHERIVOKE_ALLOC_HH
+
+#include <cstdint>
+
+#include "alloc/dlmalloc.hh"
+#include "alloc/quarantine.hh"
+#include "alloc/shadow_map.hh"
+
+namespace cherivoke {
+namespace alloc {
+
+/** Tunables for the temporal-safety allocator. */
+struct CherivokeConfig
+{
+    /**
+     * Sweep when quarantined bytes reach this fraction of the live
+     * heap (paper default: 25%, §3.1/§6).
+     */
+    double quarantineFraction = 0.25;
+    /** Never sweep below this many quarantined bytes. */
+    uint64_t minQuarantineBytes = 64 * KiB;
+    DlConfig dl{};
+};
+
+/** The CHERIvoke allocator facade. */
+class CherivokeAllocator
+{
+  public:
+    CherivokeAllocator(mem::AddressSpace &space,
+                       CherivokeConfig config = CherivokeConfig{});
+
+    /** @name Program-facing API (CheriABI malloc/free) */
+    /// @{
+    cap::Capability malloc(uint64_t size) { return dl_.malloc(size); }
+    cap::Capability calloc(uint64_t n, uint64_t size)
+    {
+        return dl_.calloc(n, size);
+    }
+
+    /**
+     * Temporal-safe free: quarantine the allocation. The memory is
+     * not reusable until a sweep revokes every dangling reference.
+     */
+    void free(const cap::Capability &capability);
+
+    /**
+     * Temporal-safe realloc: always allocate-copy-quarantine (no
+     * in-place growth, which would leave stale capabilities with
+     * different bounds aliasing the grown object).
+     */
+    cap::Capability realloc(const cap::Capability &capability,
+                            uint64_t new_size);
+
+    uint64_t usableSize(uint64_t payload) const
+    {
+        return dl_.usableSize(payload);
+    }
+    /// @}
+
+    /** @name Sweep protocol */
+    /// @{
+    /** Quarantine at/over its budget (paper: Q >= fraction * heap)? */
+    bool needsSweep() const;
+
+    /**
+     * Freeze the current quarantine as this epoch's revocation set
+     * and paint the shadow map for every frozen run (payload spans
+     * only: a live one-past-the-end capability of the *previous*
+     * object has its base in our header granule and must survive).
+     * Frees issued while the epoch is open join a fresh quarantine
+     * and are NOT released by this epoch's finishSweep — required
+     * for incremental/concurrent revocation (§3.5).
+     * @return paint statistics for the cost model
+     */
+    PaintStats prepareSweep();
+
+    /** Unpaint and return the *frozen* runs to the free lists.
+     *  @return number of internal frees (after aggregation) */
+    uint64_t finishSweep();
+
+    /** True between prepareSweep() and finishSweep(). */
+    bool epochOpen() const { return !frozen_.empty(); }
+    /// @}
+
+    /** @name Introspection */
+    /// @{
+    DlAllocator &dl() { return dl_; }
+    const DlAllocator &dl() const { return dl_; }
+    ShadowMap &shadowMap() { return shadow_; }
+    Quarantine &quarantine() { return quarantine_; }
+    const Quarantine &quarantine() const { return quarantine_; }
+    const CherivokeConfig &config() const { return config_; }
+
+    uint64_t liveBytes() const { return dl_.liveBytes(); }
+    uint64_t quarantinedBytes() const
+    {
+        return quarantine_.totalBytes() + frozen_.totalBytes();
+    }
+    uint64_t footprintBytes() const { return dl_.footprintBytes(); }
+
+    uint64_t sweepsPrepared() const { return sweeps_; }
+    /// @}
+
+  private:
+    DlAllocator dl_;
+    ShadowMap shadow_;
+    Quarantine quarantine_; //!< frees since the last prepareSweep
+    Quarantine frozen_;     //!< the open epoch's revocation set
+    CherivokeConfig config_;
+    mem::TaggedMemory *mem_;
+    uint64_t sweeps_ = 0;
+};
+
+} // namespace alloc
+} // namespace cherivoke
+
+#endif // CHERIVOKE_ALLOC_CHERIVOKE_ALLOC_HH

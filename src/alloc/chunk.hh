@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Boundary-tag chunk layout for the dlmalloc-style allocator, stored
+ * in simulated tagged memory.
+ *
+ * Chunk layout (all chunks 16-byte aligned, sizes multiples of 16):
+ *
+ *     C + 0  : prev_size — size of the previous chunk; valid only
+ *              when the previous chunk is free (!PINUSE)
+ *     C + 8  : size | flags (low 4 bits)
+ *     C + 16 : payload (the address handed to the program)
+ *
+ * Free chunks additionally hold their bin links in the payload:
+ *
+ *     C + 16 : fd — next chunk in bin
+ *     C + 24 : bk — previous chunk in bin
+ *
+ * and write their size into the *next* chunk's prev_size field (the
+ * boundary tag enabling constant-time coalescing).
+ */
+
+#ifndef CHERIVOKE_ALLOC_CHUNK_HH
+#define CHERIVOKE_ALLOC_CHUNK_HH
+
+#include <cstdint>
+
+#include "mem/tagged_memory.hh"
+#include "support/bitops.hh"
+
+namespace cherivoke {
+namespace alloc {
+
+/** Low-bit flags packed into the chunk size word. */
+enum ChunkFlags : uint64_t
+{
+    kCinuse = 1u << 0,      //!< this chunk is allocated
+    kPinuse = 1u << 1,      //!< the previous chunk is allocated
+    kQuarantine = 1u << 2,  //!< freed but awaiting revocation
+    kFlagMask = 0xf,
+};
+
+/** Header bytes before the payload. */
+constexpr uint64_t kChunkHeader = 16;
+/** Smallest legal chunk: header + room for fd/bk links. */
+constexpr uint64_t kMinChunk = 32;
+
+/** Reads and writes chunk metadata through the simulated memory. */
+class ChunkView
+{
+  public:
+    ChunkView(mem::TaggedMemory &memory, uint64_t addr)
+        : mem_(&memory), addr_(addr)
+    {}
+
+    uint64_t addr() const { return addr_; }
+    uint64_t payload() const { return addr_ + kChunkHeader; }
+
+    uint64_t sizeWord() const { return mem_->readU64(addr_ + 8); }
+    uint64_t size() const { return sizeWord() & ~kFlagMask; }
+    bool cinuse() const { return sizeWord() & kCinuse; }
+    bool pinuse() const { return sizeWord() & kPinuse; }
+    bool quarantined() const { return sizeWord() & kQuarantine; }
+
+    uint64_t prevSize() const { return mem_->readU64(addr_); }
+
+    /** Address of the chunk after this one. */
+    uint64_t next() const { return addr_ + size(); }
+    /** Address of the chunk before this one (valid iff !pinuse()). */
+    uint64_t prev() const { return addr_ - prevSize(); }
+
+    void
+    setHeader(uint64_t size, uint64_t flags)
+    {
+        mem_->writeU64(addr_ + 8, size | flags);
+    }
+
+    void
+    setFlags(uint64_t flags)
+    {
+        mem_->writeU64(addr_ + 8, size() | flags);
+    }
+
+    void setPrevSize(uint64_t s) { mem_->writeU64(addr_, s); }
+
+    /** Free-list links, stored in the (dead) payload. */
+    uint64_t fd() const { return mem_->readU64(addr_ + 16); }
+    uint64_t bk() const { return mem_->readU64(addr_ + 24); }
+    void setFd(uint64_t a) { mem_->writeU64(addr_ + 16, a); }
+    void setBk(uint64_t a) { mem_->writeU64(addr_ + 24, a); }
+
+    /** Write this free chunk's boundary tag into the next chunk. */
+    void
+    writeFooter()
+    {
+        mem_->writeU64(next(), size());
+    }
+
+  private:
+    mem::TaggedMemory *mem_;
+    uint64_t addr_;
+};
+
+} // namespace alloc
+} // namespace cherivoke
+
+#endif // CHERIVOKE_ALLOC_CHUNK_HH

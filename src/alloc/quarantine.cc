@@ -1,0 +1,64 @@
+#include "alloc/quarantine.hh"
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace alloc {
+
+void
+Quarantine::add(DlAllocator &dl, uint64_t addr, uint64_t size)
+{
+    CHERIVOKE_ASSERT(size > 0);
+    total_bytes_ += size;
+
+    // Merge with a run ending exactly where this chunk starts.
+    auto prev_it = by_end_.find(addr);
+    if (prev_it != by_end_.end()) {
+        const uint64_t prev_addr = prev_it->second;
+        const uint64_t prev_size = by_start_.at(prev_addr);
+        by_end_.erase(prev_it);
+        by_start_.erase(prev_addr);
+        addr = prev_addr;
+        size += prev_size;
+        ++merges_;
+    }
+
+    // Merge with a run starting exactly where this chunk ends.
+    auto next_it = by_start_.find(addr + size);
+    if (next_it != by_start_.end()) {
+        const uint64_t next_size = next_it->second;
+        by_end_.erase(addr + size + next_size);
+        by_start_.erase(next_it);
+        size += next_size;
+        ++merges_;
+    }
+
+    dl.mergeQuarantinedRun(addr, size);
+    by_start_[addr] = size;
+    by_end_[addr + size] = addr;
+}
+
+std::vector<QuarantineRun>
+Quarantine::runs() const
+{
+    std::vector<QuarantineRun> out;
+    out.reserve(by_start_.size());
+    for (const auto &[addr, size] : by_start_)
+        out.push_back(QuarantineRun{addr, size});
+    return out;
+}
+
+uint64_t
+Quarantine::release(DlAllocator &dl)
+{
+    const uint64_t n = by_start_.size();
+    for (const auto &[addr, size] : by_start_)
+        dl.internalFree(addr, size);
+    by_start_.clear();
+    by_end_.clear();
+    total_bytes_ = 0;
+    return n;
+}
+
+} // namespace alloc
+} // namespace cherivoke

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The quarantine buffer (paper §3.1): freed allocations detained until
+ * a revocation sweep, with constant-time aggregation of contiguous
+ * frees (§5.2: "the dlmalloc constant-time algorithm for aggregating
+ * contiguous allocations"). Aggregation means the number of internal
+ * frees after a sweep can be far smaller than the number of program
+ * frees (§6.1.1).
+ */
+
+#ifndef CHERIVOKE_ALLOC_QUARANTINE_HH
+#define CHERIVOKE_ALLOC_QUARANTINE_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/dlmalloc.hh"
+
+namespace cherivoke {
+namespace alloc {
+
+/** A contiguous run of quarantined chunks. */
+struct QuarantineRun
+{
+    uint64_t addr = 0;
+    uint64_t size = 0;
+
+    uint64_t end() const { return addr + size; }
+};
+
+/** The quarantine buffer. */
+class Quarantine
+{
+  public:
+    /**
+     * Add a freshly quarantined chunk, merging with adjacent
+     * quarantined runs in constant time. Rewrites the surviving run
+     * header through the allocator.
+     */
+    void add(DlAllocator &dl, uint64_t addr, uint64_t size);
+
+    /** Total quarantined bytes (chunk sizes, headers included). */
+    uint64_t totalBytes() const { return total_bytes_; }
+
+    /** Number of distinct runs (after aggregation). */
+    size_t runCount() const { return by_start_.size(); }
+
+    /** Number of merges performed so far. */
+    uint64_t merges() const { return merges_; }
+
+    /** Runs in address order (deterministic painting order). */
+    std::vector<QuarantineRun> runs() const;
+
+    /**
+     * Hand every run back to the allocator's free lists ("internal
+     * frees") and empty the buffer. Returns the number of internal
+     * frees performed.
+     */
+    uint64_t release(DlAllocator &dl);
+
+    bool empty() const { return by_start_.empty(); }
+
+  private:
+    std::map<uint64_t, uint64_t> by_start_;        //!< addr -> size
+    std::unordered_map<uint64_t, uint64_t> by_end_; //!< end -> addr
+    uint64_t total_bytes_ = 0;
+    uint64_t merges_ = 0;
+};
+
+} // namespace alloc
+} // namespace cherivoke
+
+#endif // CHERIVOKE_ALLOC_QUARANTINE_HH

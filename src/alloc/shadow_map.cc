@@ -1,0 +1,161 @@
+#include "alloc/shadow_map.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace alloc {
+
+PaintStats &
+PaintStats::operator+=(const PaintStats &o)
+{
+    bitOps += o.bitOps;
+    byteOps += o.byteOps;
+    wordOps += o.wordOps;
+    dwordOps += o.dwordOps;
+    return *this;
+}
+
+namespace {
+
+/** Read-modify-write a partial shadow byte. */
+void
+rmwByte(mem::TaggedMemory &mem, uint64_t shadow_addr, uint8_t mask,
+        bool set)
+{
+    uint8_t byte = 0;
+    mem.readBytes(shadow_addr, &byte, 1);
+    byte = set ? (byte | mask) : (byte & static_cast<uint8_t>(~mask));
+    mem.writeBytes(shadow_addr, &byte, 1);
+}
+
+} // namespace
+
+PaintStats
+ShadowMap::apply(uint64_t addr, uint64_t size, bool set)
+{
+    PaintStats st;
+    if (size == 0)
+        return st;
+    CHERIVOKE_ASSERT(isAligned(addr, kGranuleBytes),
+                     "(paint range must be granule aligned)");
+
+    // Granule range [g0, g1).
+    const uint64_t g0 = addr >> kGranuleShift;
+    const uint64_t g1 = (addr + size + kGranuleBytes - 1) >>
+                        kGranuleShift;
+
+    uint64_t g = g0;
+    // Head: partial first shadow byte.
+    if (g & 7) {
+        const uint64_t byte_addr = mem::kShadowBase + (g >> 3);
+        const unsigned lo = g & 7;
+        const unsigned hi =
+            static_cast<unsigned>(std::min<uint64_t>(8, lo + (g1 - g)));
+        uint8_t mask = 0;
+        for (unsigned b = lo; b < hi; ++b)
+            mask |= static_cast<uint8_t>(1u << b);
+        rmwByte(*mem_, byte_addr, mask, set);
+        ++st.bitOps;
+        g += hi - lo;
+    }
+
+    // Body: whole shadow bytes, widened to 4- and 8-byte stores when
+    // the shadow address is suitably aligned.
+    const uint8_t fill = set ? 0xff : 0x00;
+    while (g + 8 <= g1) {
+        const uint64_t byte_addr = mem::kShadowBase + (g >> 3);
+        const uint64_t bytes_left = (g1 - g) >> 3;
+        if (bytes_left >= 8 && isAligned(byte_addr, 8)) {
+            uint8_t buf[8];
+            std::memset(buf, fill, 8);
+            mem_->writeBytes(byte_addr, buf, 8);
+            ++st.dwordOps;
+            g += 64;
+        } else if (bytes_left >= 4 && isAligned(byte_addr, 4)) {
+            uint8_t buf[4];
+            std::memset(buf, fill, 4);
+            mem_->writeBytes(byte_addr, buf, 4);
+            ++st.wordOps;
+            g += 32;
+        } else {
+            mem_->writeBytes(byte_addr, &fill, 1);
+            ++st.byteOps;
+            g += 8;
+        }
+    }
+
+    // Tail: partial last shadow byte.
+    if (g < g1) {
+        const uint64_t byte_addr = mem::kShadowBase + (g >> 3);
+        uint8_t mask = 0;
+        for (uint64_t b = g & 7; b < (g & 7) + (g1 - g); ++b)
+            mask |= static_cast<uint8_t>(1u << b);
+        rmwByte(*mem_, byte_addr, mask, set);
+        ++st.bitOps;
+    }
+    return st;
+}
+
+PaintStats
+ShadowMap::paint(uint64_t addr, uint64_t size)
+{
+    return apply(addr, size, true);
+}
+
+PaintStats
+ShadowMap::clear(uint64_t addr, uint64_t size)
+{
+    return apply(addr, size, false);
+}
+
+PaintStats
+ShadowMap::paintBitByBit(uint64_t addr, uint64_t size)
+{
+    PaintStats st;
+    if (size == 0)
+        return st;
+    CHERIVOKE_ASSERT(isAligned(addr, kGranuleBytes));
+    const uint64_t g0 = addr >> kGranuleShift;
+    const uint64_t g1 = (addr + size + kGranuleBytes - 1) >>
+                        kGranuleShift;
+    for (uint64_t g = g0; g < g1; ++g) {
+        rmwByte(*mem_, mem::kShadowBase + (g >> 3),
+                static_cast<uint8_t>(1u << (g & 7)), true);
+        ++st.bitOps;
+    }
+    return st;
+}
+
+bool
+ShadowMap::isRevoked(uint64_t addr) const
+{
+    // The §3.3 inner-loop lookup: shift to the granule, index the
+    // shadow byte, test the bit. Counter-free so that concurrent
+    // sweep threads can share the (read-only) map.
+    const uint64_t g = addr >> kGranuleShift;
+    uint8_t byte = 0;
+    mem_->peekBytes(mem::kShadowBase + (g >> 3), &byte, 1);
+    return (byte >> (g & 7)) & 1;
+}
+
+uint64_t
+ShadowMap::countPainted(uint64_t addr, uint64_t size) const
+{
+    const uint64_t g0 = addr >> kGranuleShift;
+    const uint64_t g1 = (addr + size + kGranuleBytes - 1) >>
+                        kGranuleShift;
+    uint64_t n = 0;
+    for (uint64_t g = g0; g < g1; ++g) {
+        uint8_t byte = 0;
+        mem_->readBytes(mem::kShadowBase + (g >> 3), &byte, 1);
+        n += (byte >> (g & 7)) & 1;
+    }
+    return n;
+}
+
+} // namespace alloc
+} // namespace cherivoke

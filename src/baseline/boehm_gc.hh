@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A Boehm–Demers–Weiser-style conservative mark-sweep collector
+ * (paper §7.3) over the simulated address space, used as the
+ * garbage-collection comparison point in figure 5.
+ *
+ * Following the paper's x86 methodology (§5.1), pointer
+ * identification is *conservative*: any 64-bit word whose value lands
+ * inside a live allocation is treated as a reference. This exhibits
+ * the two weaknesses the paper contrasts with CHERIvoke (§7.3):
+ * integers can be misclassified as pointers (retention), and the
+ * marking phase is an irregular graph walk rather than a linear
+ * sweep.
+ */
+
+#ifndef CHERIVOKE_BASELINE_BOEHM_GC_HH
+#define CHERIVOKE_BASELINE_BOEHM_GC_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "alloc/dlmalloc.hh"
+#include "mem/addr_space.hh"
+
+namespace cherivoke {
+namespace baseline {
+
+/** Statistics from one collection. */
+struct GcStats
+{
+    uint64_t rootsScanned = 0;   //!< root words examined
+    uint64_t wordsScanned = 0;   //!< total words examined (mark phase)
+    uint64_t objectsMarked = 0;
+    uint64_t objectsFreed = 0;
+    uint64_t bytesFreed = 0;
+    uint64_t markVisits = 0;     //!< graph-walk node visits
+};
+
+/**
+ * Conservative collector over a DlAllocator heap. The program
+ * allocates through gcAlloc() and never frees; collect() reclaims
+ * unreachable allocations.
+ */
+class BoehmGc
+{
+  public:
+    BoehmGc(mem::AddressSpace &space, alloc::DlAllocator &dl)
+        : space_(&space), dl_(&dl)
+    {}
+
+    /** Allocate a collected object. */
+    cap::Capability gcAlloc(uint64_t size);
+
+    /** Explicit free (BDW supports it; enables use-after-free bugs,
+     *  which is the paper's point about hybrid GC). */
+    void explicitFree(const cap::Capability &capability);
+
+    /** Run a full stop-the-world mark-sweep collection. */
+    GcStats collect();
+
+    /** Live (registered, uncollected) allocations. */
+    size_t liveObjects() const { return objects_.size(); }
+
+    /** Total heap bytes registered to the collector. */
+    uint64_t registeredBytes() const;
+
+  private:
+    void markFrom(uint64_t addr, uint64_t size, GcStats &stats,
+                  std::vector<uint64_t> &worklist);
+
+    mem::AddressSpace *space_;
+    alloc::DlAllocator *dl_;
+    /** payload base -> payload size, with a mark bit per cycle. */
+    std::map<uint64_t, uint64_t> objects_;
+    std::map<uint64_t, bool> marks_;
+};
+
+} // namespace baseline
+} // namespace cherivoke
+
+#endif // CHERIVOKE_BASELINE_BOEHM_GC_HH

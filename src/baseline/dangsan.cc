@@ -1,0 +1,66 @@
+#include "baseline/dangsan.hh"
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace baseline {
+
+cap::Capability
+DangSan::malloc(uint64_t size)
+{
+    const cap::Capability c = dl_->malloc(size);
+    registry_[c.base()];
+    return c;
+}
+
+void
+DangSan::recordPointerStore(uint64_t location,
+                            const cap::Capability &value)
+{
+    space_->memory().writeCap(location, value);
+    ++stats_.recordedStores;
+    auto it = registry_.find(value.base());
+    if (it == registry_.end())
+        return; // store of a non-heap pointer
+    it->second.push_back(location);
+    ++stats_.registryEntries;
+    stats_.registryBytes += sizeof(uint64_t) * 2; // entry + slack
+}
+
+void
+DangSan::free(const cap::Capability &capability)
+{
+    const uint64_t base = capability.base();
+    auto it = registry_.find(base);
+    CHERIVOKE_ASSERT(it != registry_.end(),
+                     "(DangSan free of unregistered allocation)");
+    auto &memory = space_->memory();
+    for (const uint64_t loc : it->second) {
+        // Nullify only if the location still holds a pointer into
+        // this allocation (it may have been overwritten since).
+        const cap::Capability cur = memory.readCap(loc);
+        const uint64_t size = dl_->usableSize(base);
+        if (cur.address() >= base && cur.address() < base + size) {
+            memory.writeU64(loc, 0);
+            memory.writeU64(loc + 8, 0);
+            ++stats_.nullified;
+        } else {
+            ++stats_.staleEntries;
+        }
+    }
+    stats_.registryEntries -= it->second.size();
+    registry_.erase(it);
+    // No quarantine: memory is immediately reusable (hence the
+    // vulnerability to hidden pointers).
+    dl_->freeAddr(base);
+}
+
+size_t
+DangSan::registrySizeFor(uint64_t base) const
+{
+    auto it = registry_.find(base);
+    return it == registry_.end() ? 0 : it->second.size();
+}
+
+} // namespace baseline
+} // namespace cherivoke

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A DangSan-style pointer-registry nullifier (van der Kouwe et al.,
+ * EuroSys 2017; paper §7.1): compiler instrumentation records every
+ * pointer store into a per-allocation registry; free() walks the
+ * registry and nullifies the recorded locations immediately.
+ *
+ * This reproduces the two structural costs the paper contrasts with
+ * CHERIvoke: every pointer store pays an instrumentation cost and
+ * registry storage, and pointers copied through uninstrumented
+ * channels ("hidden pointers", e.g.\ memcpy or integer laundering)
+ * escape nullification entirely — so temporal safety cannot be
+ * guaranteed.
+ */
+
+#ifndef CHERIVOKE_BASELINE_DANGSAN_HH
+#define CHERIVOKE_BASELINE_DANGSAN_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "alloc/dlmalloc.hh"
+#include "mem/addr_space.hh"
+
+namespace cherivoke {
+namespace baseline {
+
+/** Registry statistics for the cost model. */
+struct DangSanStats
+{
+    uint64_t recordedStores = 0;   //!< instrumented pointer writes
+    uint64_t registryEntries = 0;  //!< current total entries
+    uint64_t registryBytes = 0;    //!< memory the registries occupy
+    uint64_t nullified = 0;        //!< locations zeroed on frees
+    uint64_t staleEntries = 0;     //!< entries no longer pointing in
+};
+
+/** The DangSan-style allocator wrapper. */
+class DangSan
+{
+  public:
+    DangSan(mem::AddressSpace &space, alloc::DlAllocator &dl)
+        : space_(&space), dl_(&dl)
+    {}
+
+    cap::Capability malloc(uint64_t size);
+
+    /**
+     * The instrumented pointer store: writes @p value to @p location
+     * and records the location in the registry of the allocation
+     * the value points into. Uninstrumented stores (plain
+     * TaggedMemory writes) model hidden pointers.
+     */
+    void recordPointerStore(uint64_t location,
+                            const cap::Capability &value);
+
+    /** Free with immediate registry-driven nullification. */
+    void free(const cap::Capability &capability);
+
+    const DangSanStats &stats() const { return stats_; }
+
+    /** Registry entries held for one allocation (test hook). */
+    size_t registrySizeFor(uint64_t base) const;
+
+  private:
+    mem::AddressSpace *space_;
+    alloc::DlAllocator *dl_;
+    /** allocation payload base -> locations that stored a pointer
+     *  into it. Grows without bound for long-lived hubs — DangSan's
+     *  documented memory blowup. */
+    std::map<uint64_t, std::vector<uint64_t>> registry_;
+    DangSanStats stats_;
+};
+
+} // namespace baseline
+} // namespace cherivoke
+
+#endif // CHERIVOKE_BASELINE_DANGSAN_HH

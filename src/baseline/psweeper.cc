@@ -1,0 +1,71 @@
+#include "baseline/psweeper.hh"
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace baseline {
+
+void
+PSweeper::recordPointerStore(uint64_t location,
+                             const cap::Capability &value)
+{
+    space_->memory().writeCap(location, value);
+    pointer_log_.push_back(location);
+    ++stats_.loggedStores;
+}
+
+void
+PSweeper::free(const cap::Capability &capability)
+{
+    const uint64_t base = capability.base();
+    const uint64_t size = dl_->usableSize(base);
+    deferred_[base] = size;
+    deferred_bytes_ += size;
+    if (deferred_bytes_ >= defer_budget_bytes_)
+        sweepNow();
+}
+
+void
+PSweeper::sweepNow()
+{
+    ++stats_.sweeps;
+    auto &memory = space_->memory();
+
+    auto in_deferred = [&](uint64_t value) {
+        auto it = deferred_.upper_bound(value);
+        if (it == deferred_.begin())
+            return false;
+        --it;
+        return value >= it->first && value < it->first + it->second;
+    };
+
+    // Walk the whole live-pointer list (cost proportional to pointer
+    // stores, not memory — pSweeper's scaling limit).
+    std::vector<uint64_t> still_live;
+    still_live.reserve(pointer_log_.size());
+    for (const uint64_t loc : pointer_log_) {
+        ++stats_.entriesWalked;
+        const cap::Capability cur = memory.readCap(loc);
+        if (!cur.tag()) {
+            continue; // overwritten since; drop the entry
+        }
+        if (in_deferred(cur.address())) {
+            memory.writeU64(loc, 0);
+            memory.writeU64(loc + 8, 0);
+            ++stats_.nullified;
+        } else {
+            still_live.push_back(loc);
+        }
+    }
+    pointer_log_.swap(still_live);
+
+    for (const auto &[base, size] : deferred_) {
+        dl_->freeAddr(base);
+        ++stats_.objectsReleased;
+    }
+    deferred_.clear();
+    deferred_bytes_ = 0;
+}
+
+} // namespace baseline
+} // namespace cherivoke

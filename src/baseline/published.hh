@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Published comparison numbers for figure 5.
+ *
+ * The paper's figure 5 compares CHERIvoke "with results reported by
+ * other state-of-the-art techniques" — i.e.\ numbers taken from the
+ * Oscar, pSweeper, DangSan and Boehm-GC papers, not reruns. We encode
+ * those reference series (digitized from figure 5 and the respective
+ * papers' tables; approximate where bars are read by eye) so the
+ * fig5 bench can print the same comparison rows. Values are
+ * normalised execution time / memory (1.0 = baseline); 0 means the
+ * source reported no value for that benchmark.
+ */
+
+#ifndef CHERIVOKE_BASELINE_PUBLISHED_HH
+#define CHERIVOKE_BASELINE_PUBLISHED_HH
+
+#include <string>
+#include <vector>
+
+namespace cherivoke {
+namespace baseline {
+
+/** One benchmark row of figure 5 (time and memory series). */
+struct PublishedRow
+{
+    std::string benchmark;
+    // Normalised execution time (figure 5a).
+    double cherivokeTime = 0; //!< the paper's own measurement
+    double oscarTime = 0;
+    double psweeperTime = 0;
+    double dangsanTime = 0;
+    double boehmGcTime = 0;
+    // Normalised memory utilisation (figure 5b).
+    double cherivokeMem = 0;
+    double dangsanMem = 0;
+    double oscarMem = 0;
+};
+
+/** The figure 5 reference table (SPEC CPU2006 subset). */
+const std::vector<PublishedRow> &publishedFigure5();
+
+/** Row lookup by benchmark name; throws FatalError if unknown. */
+const PublishedRow &publishedRowFor(const std::string &benchmark);
+
+/** The paper's headline numbers (abstract / §6.6). */
+struct PaperHeadlines
+{
+    double avgRuntimeOverhead = 0.047;
+    double maxRuntimeOverhead = 0.51;
+    double avgMemoryOverhead = 0.125;
+    double maxMemoryOverhead = 0.35;
+    double heapOverheadSetting = 0.25;
+};
+
+PaperHeadlines paperHeadlines();
+
+} // namespace baseline
+} // namespace cherivoke
+
+#endif // CHERIVOKE_BASELINE_PUBLISHED_HH

@@ -1,0 +1,145 @@
+#include "cache/hierarchy.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace cache {
+
+Hierarchy::Hierarchy(const HierarchyConfig &config)
+    : config_(config),
+      dram_(config.dram),
+      l1_(std::make_unique<Cache>(config.l1)),
+      l2_(std::make_unique<Cache>(config.l2)),
+      llc_(config.llc ? std::make_unique<Cache>(*config.llc) : nullptr),
+      tags_(config.tagCache, dram_)
+{}
+
+AccessOutcome
+Hierarchy::access(uint64_t addr, uint64_t size, bool write)
+{
+    CHERIVOKE_ASSERT(size > 0);
+    const uint64_t first = alignDown(addr, kLineBytes);
+    const uint64_t last = alignDown(addr + size - 1, kLineBytes);
+    AccessOutcome outcome;
+    for (uint64_t line = first; line <= last; line += kLineBytes)
+        outcome = accessLine(line, write);
+    return outcome;
+}
+
+AccessOutcome
+Hierarchy::accessLine(uint64_t line_addr, bool write)
+{
+    AccessOutcome outcome;
+
+    const LineAccess a1 = l1_->access(line_addr, write);
+    if (a1.hit) {
+        outcome.level = HitLevel::L1;
+        return outcome;
+    }
+    // L1 victim writeback lands in L2.
+    if (a1.evictedDirty)
+        l2_->access(a1.victimLine, true);
+
+    const LineAccess a2 = l2_->access(line_addr, false);
+    if (a2.hit) {
+        outcome.level = HitLevel::L2;
+        return outcome;
+    }
+    // Past this point the access crosses the L2 boundary.
+    outcome.offCore = true;
+    ++off_core_lines_;
+    if (a2.evictedDirty) {
+        ++off_core_lines_;
+        if (llc_) {
+            const LineAccess wb = llc_->access(a2.victimLine, true);
+            if (wb.evictedDirty)
+                dram_.write(kLineBytes);
+        } else {
+            dram_.write(kLineBytes);
+            outcome.dramBytes += kLineBytes;
+        }
+    }
+
+    if (llc_) {
+        const LineAccess a3 = llc_->access(line_addr, write);
+        if (a3.hit) {
+            outcome.level = HitLevel::Llc;
+            return outcome;
+        }
+        if (a3.evictedDirty) {
+            dram_.write(kLineBytes);
+            outcome.dramBytes += kLineBytes;
+        }
+    }
+
+    dram_.read(kLineBytes);
+    outcome.dramBytes += kLineBytes;
+    outcome.level = HitLevel::Dram;
+    return outcome;
+}
+
+AccessOutcome
+Hierarchy::cloadTags(uint64_t line_addr, bool region_has_tags,
+                     bool prefetch_if_tagged, bool line_has_tags)
+{
+    CHERIVOKE_ASSERT(isAligned(line_addr, kLineBytes));
+    AccessOutcome outcome;
+
+    // Any cache holding the line answers from its tag-metadata block
+    // (figure 4) without further traffic.
+    if (l1_->probe(line_addr)) {
+        outcome.level = HitLevel::L1;
+        return outcome;
+    }
+    if (l2_->probe(line_addr)) {
+        outcome.level = HitLevel::L2;
+        return outcome;
+    }
+    if (llc_ && llc_->probe(line_addr)) {
+        outcome.level = HitLevel::Llc;
+        return outcome;
+    }
+
+    // Miss everywhere: the tag controller answers with tags only.
+    outcome.offCore = true;
+    ++off_core_lines_;
+    const TagLookup t = tags_.lookup(line_addr, region_has_tags);
+    outcome.dramBytes = t.dramLineReads * kLineBytes;
+    outcome.level = t.tagCacheHit ? HitLevel::TagCache : HitLevel::Dram;
+
+    // §3.4.1 future work: "prefetching data for a cache line when
+    // CLoadTags returns a non-zero result". The sweep will read the
+    // line next; fetch it into the LLC now so that read hits.
+    if (prefetch_if_tagged && line_has_tags && llc_) {
+        const LineAccess pf = llc_->access(line_addr, false);
+        if (!pf.hit) {
+            dram_.read(kLineBytes);
+            outcome.dramBytes += kLineBytes;
+            if (pf.evictedDirty)
+                dram_.write(kLineBytes);
+        }
+    }
+    return outcome;
+}
+
+void
+Hierarchy::recordRevocationTagWrite(uint64_t line_addr)
+{
+    tags_.recordTagWrite(line_addr);
+}
+
+void
+Hierarchy::reset()
+{
+    l1_->reset();
+    l2_->reset();
+    if (llc_)
+        llc_->reset();
+    tags_.reset();
+    dram_.reset();
+    off_core_lines_ = 0;
+}
+
+} // namespace cache
+} // namespace cherivoke

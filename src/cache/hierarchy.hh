@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The modelled memory hierarchy: L1D, L2, optional LLC, the tag
+ * controller, and DRAM. An inclusive write-back hierarchy with
+ * allocate-on-miss, matching the structural assumptions of the
+ * paper's evaluation platforms (table 1).
+ *
+ * The hierarchy is a pure performance model: callers perform
+ * functional reads/writes against mem::TaggedMemory and mirror them
+ * here for accounting. Off-core traffic (figure 10) is everything
+ * that crosses the L2 boundary.
+ */
+
+#ifndef CHERIVOKE_CACHE_HIERARCHY_HH
+#define CHERIVOKE_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <optional>
+
+#include "cache/cache.hh"
+#include "cache/dram.hh"
+#include "cache/tag_controller.hh"
+
+namespace cherivoke {
+namespace cache {
+
+/** Full hierarchy configuration. */
+struct HierarchyConfig
+{
+    CacheGeometry l1{"l1d", 32 * KiB, 8, kLineBytes};
+    CacheGeometry l2{"l2", 256 * KiB, 4, kLineBytes};
+    /** Present on the x86 profile; absent on the CHERI FPGA. */
+    std::optional<CacheGeometry> llc =
+        CacheGeometry{"llc", 8 * MiB, 16, kLineBytes};
+    CacheGeometry tagCache{"tagcache", 32 * KiB, 4, kLineBytes};
+    DramConfig dram{};
+};
+
+/** Where an access was satisfied. */
+enum class HitLevel
+{
+    L1,
+    L2,
+    Llc,
+    Dram,
+    TagCache, //!< CLoadTags answered without a data fetch
+};
+
+/** Outcome of one modelled access. */
+struct AccessOutcome
+{
+    HitLevel level = HitLevel::L1;
+    bool offCore = false;          //!< crossed the L2 boundary
+    uint64_t dramBytes = 0;        //!< DRAM traffic this access caused
+};
+
+/** The modelled cache/DRAM system. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyConfig &config = HierarchyConfig{});
+
+    /**
+     * Model a data access touching [addr, addr+size); decomposed into
+     * line accesses. Returns the outcome of the *last* line access.
+     */
+    AccessOutcome access(uint64_t addr, uint64_t size, bool write);
+
+    /**
+     * Model a CLoadTags request (§3.4.1): if the line is present in
+     * any data cache it answers directly; otherwise the tag
+     * controller resolves it without fetching data, and the response
+     * is deliberately not cached in the data hierarchy (streaming
+     * semantics).
+     * @param region_has_tags functional root-level tag presence for
+     *        the covering 8 KiB region
+     * @param prefetch_if_tagged the §3.4.1 future-work hint: when
+     *        the tag response is non-zero, prefetch the data line
+     *        into the LLC so the sweep's subsequent read hits —
+     *        DRAM traffic for the line is charged here instead
+     */
+    AccessOutcome cloadTags(uint64_t line_addr, bool region_has_tags,
+                            bool prefetch_if_tagged = false,
+                            bool line_has_tags = false);
+
+    /** Account the tag-bit clear of a revocation at this line. */
+    void recordRevocationTagWrite(uint64_t line_addr);
+
+    Cache &l1() { return *l1_; }
+    Cache &l2() { return *l2_; }
+    Cache *llc() { return llc_ ? llc_.get() : nullptr; }
+    TagController &tagController() { return tags_; }
+    Dram &dram() { return dram_; }
+    const Dram &dram() const { return dram_; }
+
+    /** Lines that crossed the L2 boundary (reads + writebacks). */
+    uint64_t offCoreLines() const { return off_core_lines_; }
+
+    /** Drop all cached state and traffic counters. */
+    void reset();
+
+  private:
+    AccessOutcome accessLine(uint64_t line_addr, bool write);
+
+    HierarchyConfig config_;
+    Dram dram_;
+    std::unique_ptr<Cache> l1_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> llc_;
+    TagController tags_;
+    uint64_t off_core_lines_ = 0;
+};
+
+} // namespace cache
+} // namespace cherivoke
+
+#endif // CHERIVOKE_CACHE_HIERARCHY_HH

@@ -1,0 +1,86 @@
+#include "cache/tag_controller.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace cache {
+
+TagController::TagController(const CacheGeometry &geom, Dram &dram)
+    : tag_cache_(geom), dram_(dram)
+{}
+
+uint64_t
+TagController::leafLineOf(uint64_t line_addr) const
+{
+    return kLeafTableBase +
+           (line_addr / kLeafLineCoverage) * kLineBytes;
+}
+
+uint64_t
+TagController::rootLineOf(uint64_t line_addr) const
+{
+    return kRootTableBase +
+           (line_addr / kRootLineCoverage) * kLineBytes;
+}
+
+TagLookup
+TagController::lookup(uint64_t line_addr, bool region_has_tags)
+{
+    ++lookups_;
+    TagLookup result;
+
+    // Root level first: cached root lines are nearly free, and a zero
+    // root bit proves the 8 KiB region is tag-free.
+    const uint64_t root_line = rootLineOf(line_addr);
+    const LineAccess root = tag_cache_.access(root_line, false);
+    if (!root.hit) {
+        dram_.read(kLineBytes);
+        ++result.dramLineReads;
+    }
+    if (root.evictedDirty)
+        dram_.write(kLineBytes);
+    if (!region_has_tags) {
+        ++root_short_circuits_;
+        result.rootShortCircuit = true;
+        result.tagCacheHit = root.hit;
+        return result;
+    }
+
+    // Leaf level: the line holding the 4 tag bits for this data line.
+    const uint64_t leaf_line = leafLineOf(line_addr);
+    const LineAccess leaf = tag_cache_.access(leaf_line, false);
+    result.tagCacheHit = root.hit && leaf.hit;
+    if (!leaf.hit) {
+        dram_.read(kLineBytes);
+        ++result.dramLineReads;
+    }
+    if (leaf.evictedDirty)
+        dram_.write(kLineBytes);
+    return result;
+}
+
+void
+TagController::recordTagWrite(uint64_t line_addr)
+{
+    // Revocation clears tag bits: dirty the leaf line; an eventual
+    // writeback costs one DRAM line write. We charge it immediately
+    // on first dirtying miss for simplicity.
+    const uint64_t leaf_line = leafLineOf(line_addr);
+    const LineAccess leaf = tag_cache_.access(leaf_line, true);
+    if (!leaf.hit)
+        dram_.read(kLineBytes);
+    if (leaf.evictedDirty)
+        dram_.write(kLineBytes);
+}
+
+void
+TagController::reset()
+{
+    tag_cache_.reset();
+    lookups_ = 0;
+    root_short_circuits_ = 0;
+}
+
+} // namespace cache
+} // namespace cherivoke

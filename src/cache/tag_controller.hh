@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The tag controller: a hierarchical tag table in DRAM fronted by a
+ * tag cache, after Joannou et al. (ICCD 2017), which the paper's
+ * CLoadTags instruction (§3.4.1) relies on.
+ *
+ * Layout: the leaf level holds 1 tag bit per 16-byte granule, so one
+ * 64-byte tag-table line covers 512 granules = 8 KiB of memory. The
+ * root level holds 1 bit per leaf line ("any tag set in this 8 KiB?"),
+ * so one 64-byte root line covers 512 leaf lines = 4 MiB of memory.
+ * A root bit of zero answers a CLoadTags miss without touching the
+ * leaf level.
+ */
+
+#ifndef CHERIVOKE_CACHE_TAG_CONTROLLER_HH
+#define CHERIVOKE_CACHE_TAG_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "cache/dram.hh"
+
+namespace cherivoke {
+namespace cache {
+
+/** Bytes of memory covered by one leaf tag-table line. */
+constexpr uint64_t kLeafLineCoverage = kLineBytes * 8 * kGranuleBytes;
+/** Bytes of memory covered by one root tag-table line. */
+constexpr uint64_t kRootLineCoverage = kLeafLineCoverage * 512;
+
+/** Synthetic address bases for tag-table lines (distinct spaces). */
+constexpr uint64_t kLeafTableBase = uint64_t{1} << 56;
+constexpr uint64_t kRootTableBase = uint64_t{1} << 57;
+
+/** Outcome of a tag lookup through the controller. */
+struct TagLookup
+{
+    bool tagCacheHit = false;
+    bool rootShortCircuit = false; //!< root bit 0: leaf never fetched
+    uint64_t dramLineReads = 0;    //!< tag-table lines read from DRAM
+};
+
+/**
+ * Models the tag-cache + hierarchical-table path of a CLoadTags
+ * request that missed in all data caches. The *functional* tag values
+ * come from mem::TaggedMemory; this class only accounts traffic.
+ */
+class TagController
+{
+  public:
+    /**
+     * @param geom tag-cache geometry (Joannou-style, e.g. 32 KiB)
+     * @param dram shared DRAM traffic sink
+     */
+    TagController(const CacheGeometry &geom, Dram &dram);
+
+    /**
+     * Account a tag lookup for the memory line at @p line_addr.
+     * @param region_has_tags whether any granule in the covering
+     *        8 KiB leaf region holds a tag (drives the root-level
+     *        short circuit; the caller derives it functionally)
+     */
+    TagLookup lookup(uint64_t line_addr, bool region_has_tags);
+
+    /** Account the tag-write traffic of a revocation that clears
+     *  tags in the region covering @p line_addr. */
+    void recordTagWrite(uint64_t line_addr);
+
+    Cache &tagCache() { return tag_cache_; }
+    const Cache &tagCache() const { return tag_cache_; }
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t rootShortCircuits() const { return root_short_circuits_; }
+
+    void reset();
+
+  private:
+    uint64_t leafLineOf(uint64_t line_addr) const;
+    uint64_t rootLineOf(uint64_t line_addr) const;
+
+    Cache tag_cache_;
+    Dram &dram_;
+    uint64_t lookups_ = 0;
+    uint64_t root_short_circuits_ = 0;
+};
+
+} // namespace cache
+} // namespace cherivoke
+
+#endif // CHERIVOKE_CACHE_TAG_CONTROLLER_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Capability fault types. In hardware these would be CPU exceptions
+ * delivered on a violating instruction; in this software CHERI machine
+ * they are C++ exceptions thrown by the capability and memory layers.
+ */
+
+#ifndef CHERIVOKE_CAP_CAP_FAULT_HH
+#define CHERIVOKE_CAP_CAP_FAULT_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace cherivoke {
+namespace cap {
+
+/** The architectural cause of a capability fault. */
+enum class FaultKind
+{
+    Tag,             //!< dereference through an untagged capability
+    Bounds,          //!< access outside [base, top)
+    Permission,      //!< access lacking the required permission bit
+    Monotonicity,    //!< attempted rights amplification (CSetBounds up)
+    Representability,//!< requested bounds not exactly representable
+    Alignment,       //!< misaligned capability-width memory access
+    CapStoreInhibit, //!< capability store to a page that forbids them
+};
+
+/** Printable name for a fault kind. */
+const char *faultKindName(FaultKind kind);
+
+/** Thrown when a capability operation or access violates the model. */
+class CapFault : public std::runtime_error
+{
+  public:
+    CapFault(FaultKind kind, const std::string &what)
+        : std::runtime_error(std::string(faultKindName(kind)) + ": " +
+                             what),
+          kind_(kind)
+    {}
+
+    FaultKind kind() const { return kind_; }
+
+  private:
+    FaultKind kind_;
+};
+
+} // namespace cap
+} // namespace cherivoke
+
+#endif // CHERIVOKE_CAP_CAP_FAULT_HH

@@ -1,0 +1,182 @@
+#include "cap/capability.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace cap {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Tag: return "tag fault";
+      case FaultKind::Bounds: return "bounds fault";
+      case FaultKind::Permission: return "permission fault";
+      case FaultKind::Monotonicity: return "monotonicity fault";
+      case FaultKind::Representability: return "representability fault";
+      case FaultKind::Alignment: return "alignment fault";
+      case FaultKind::CapStoreInhibit: return "capability-store fault";
+    }
+    return "unknown fault";
+}
+
+Capability
+Capability::root()
+{
+    const EncodeResult enc = encode(0, u128{1} << 64);
+    CHERIVOKE_ASSERT(enc.exact, "(root bounds must be exact)");
+    return Capability(0, enc.enc, kPermsAll, true);
+}
+
+uint64_t
+Capability::base() const
+{
+    return decode(bounds_, address_).base;
+}
+
+u128
+Capability::top() const
+{
+    return decode(bounds_, address_).top;
+}
+
+u128
+Capability::length() const
+{
+    const Bounds b = decode(bounds_, address_);
+    return b.top - b.base;
+}
+
+Bounds
+Capability::bounds() const
+{
+    return decode(bounds_, address_);
+}
+
+bool
+Capability::inBounds(uint64_t addr, uint64_t size) const
+{
+    const Bounds b = decode(bounds_, address_);
+    return addr >= b.base && u128{addr} + size <= b.top;
+}
+
+Capability
+Capability::setAddress(uint64_t new_address) const
+{
+    Capability result = *this;
+    if (tag_ && !representable(bounds_, address_, new_address)) {
+        // Unrepresentable move: tag is stripped, the word degrades to
+        // plain data (never to wider bounds).
+        result.tag_ = false;
+    }
+    result.address_ = new_address;
+    return result;
+}
+
+Capability
+Capability::incAddress(int64_t delta) const
+{
+    return setAddress(address_ + static_cast<uint64_t>(delta));
+}
+
+Capability
+Capability::setBounds(uint64_t new_length) const
+{
+    if (!tag_)
+        throw CapFault(FaultKind::Tag, "CSetBounds on untagged value");
+    const Bounds cur = decode(bounds_, address_);
+    const uint64_t req_base = address_;
+    const u128 req_top = u128{req_base} + new_length;
+    if (req_base < cur.base || req_top > cur.top) {
+        throw CapFault(FaultKind::Monotonicity,
+                       "CSetBounds request exceeds current bounds");
+    }
+    const EncodeResult enc = encode(req_base, req_top);
+    if (enc.actual.base < cur.base || enc.actual.top > cur.top) {
+        // Rounding would escape the authorising capability.
+        throw CapFault(FaultKind::Monotonicity,
+                       "rounded bounds exceed current bounds; pad the "
+                       "allocation per representableAlignmentMask()");
+    }
+    return Capability(req_base, enc.enc, perms_, true);
+}
+
+Capability
+Capability::setBoundsExact(uint64_t new_length) const
+{
+    if (!tag_)
+        throw CapFault(FaultKind::Tag, "CSetBoundsExact on untagged");
+    const Bounds cur = decode(bounds_, address_);
+    const uint64_t req_base = address_;
+    const u128 req_top = u128{req_base} + new_length;
+    if (req_base < cur.base || req_top > cur.top) {
+        throw CapFault(FaultKind::Monotonicity,
+                       "CSetBoundsExact request exceeds current bounds");
+    }
+    const EncodeResult enc = encode(req_base, req_top);
+    if (!enc.exact) {
+        throw CapFault(FaultKind::Representability,
+                       "bounds not exactly representable");
+    }
+    return Capability(req_base, enc.enc, perms_, true);
+}
+
+Capability
+Capability::andPerms(uint16_t mask) const
+{
+    Capability result = *this;
+    result.perms_ = perms_ & mask;
+    return result;
+}
+
+Capability
+Capability::withTagCleared() const
+{
+    Capability result = *this;
+    result.tag_ = false;
+    return result;
+}
+
+uint64_t
+Capability::packHigh() const
+{
+    return (static_cast<uint64_t>(perms_ & 0x7fff) << 49) |
+           (bounds_.bits & maskLow(46));
+}
+
+Capability
+Capability::unpack(uint64_t lo, uint64_t hi, bool tag)
+{
+    Encoding enc;
+    enc.bits = hi & maskLow(46);
+    const uint16_t perms = static_cast<uint16_t>((hi >> 49) & 0x7fff);
+    return Capability(lo, enc, perms, tag);
+}
+
+uint64_t
+Capability::decodeBase(uint64_t lo, uint64_t hi)
+{
+    Encoding enc;
+    enc.bits = hi & maskLow(46);
+    return decode(enc, lo).base;
+}
+
+std::string
+Capability::toString() const
+{
+    const Bounds b = decode(bounds_, address_);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "0x%" PRIx64 " [0x%" PRIx64 ",0x%llx) perms=0x%x tag=%d",
+                  address_, b.base,
+                  static_cast<unsigned long long>(b.top),
+                  perms_, tag_ ? 1 : 0);
+    return buf;
+}
+
+} // namespace cap
+} // namespace cherivoke

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The CHERI-128 capability model (paper §2.2, figure 2).
+ *
+ * A capability is a 128-bit word — 64-bit address plus 64 bits of
+ * protected metadata (15 permission bits and 46 bits of compressed
+ * bounds) — plus an out-of-band 1-bit validity tag held by tagged
+ * memory or a register. All mutating operations are monotonic: no
+ * operation can widen bounds, add permissions, or conjure a tag.
+ */
+
+#ifndef CHERIVOKE_CAP_CAPABILITY_HH
+#define CHERIVOKE_CAP_CAPABILITY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cap/cap_fault.hh"
+#include "cap/cc46.hh"
+
+namespace cherivoke {
+namespace cap {
+
+/** Permission bits (15 available; CHERI-128 assignments). */
+enum Perm : uint16_t
+{
+    PermGlobal        = 1u << 0,
+    PermExecute       = 1u << 1,
+    PermLoad          = 1u << 2,
+    PermStore         = 1u << 3,
+    PermLoadCap       = 1u << 4,
+    PermStoreCap      = 1u << 5,
+    PermStoreLocalCap = 1u << 6,
+    PermSeal          = 1u << 7,
+    PermInvoke        = 1u << 8,
+    PermUnseal        = 1u << 9,
+    PermAccessSysRegs = 1u << 10,
+    PermSetCid        = 1u << 11,
+};
+
+/** All architecturally defined permissions. */
+constexpr uint16_t kPermsAll = 0x0fff;
+
+/** The permissions a data allocator grants on returned objects. */
+constexpr uint16_t kPermsData =
+    PermGlobal | PermLoad | PermStore | PermLoadCap | PermStoreCap |
+    PermStoreLocalCap;
+
+/**
+ * A CHERI-128 capability value.
+ *
+ * Copyable value type. The tag travels with the value here; the
+ * memory subsystem is responsible for clearing it on non-capability
+ * overwrites (mem::TaggedMemory) and the revoker for clearing it on
+ * revocation sweeps.
+ */
+class Capability
+{
+  public:
+    /** The untagged null capability (all-zero memory pattern). */
+    Capability() = default;
+
+    /**
+     * The omnipotent root capability: [0, 2^64), all permissions,
+     * tagged. Every valid capability in a run derives from this
+     * (capability provenance, §2.2 footnote 1).
+     */
+    static Capability root();
+
+    /** @name Observers */
+    /// @{
+    bool tag() const { return tag_; }
+    uint64_t address() const { return address_; }
+    uint16_t perms() const { return perms_; }
+    bool hasPerm(uint16_t p) const { return (perms_ & p) == p; }
+
+    /** Lower bound (inclusive). Always within the original allocation. */
+    uint64_t base() const;
+    /** Upper bound (exclusive); may be 2^64. */
+    u128 top() const;
+    /** top() - base(). */
+    u128 length() const;
+    /** Decoded [base, top). */
+    Bounds bounds() const;
+
+    /** True if [addr, addr+size) lies within bounds. */
+    bool inBounds(uint64_t addr, uint64_t size) const;
+    /** address() - base(); the C-level pointer offset. */
+    uint64_t offset() const { return address_ - base(); }
+    /// @}
+
+    /** @name Monotonic derivations (capability instructions) */
+    /// @{
+
+    /**
+     * CSetAddr: same bounds/perms, new address. If the new address
+     * leaves the representable region the result's tag is cleared
+     * (the CHERI fast-representability semantics) — it never widens.
+     */
+    Capability setAddress(uint64_t new_address) const;
+
+    /** CIncOffset: setAddress(address() + delta). */
+    Capability incAddress(int64_t delta) const;
+
+    /**
+     * CSetBounds: narrow bounds to [address(), address() + length).
+     * @throws CapFault{Tag} if untagged,
+     *         CapFault{Monotonicity} if the request exceeds current
+     *         bounds. The result may be rounded outward to the
+     *         representable alignment but never beyond current bounds
+     *         (monotonicity is re-checked on the rounded result).
+     */
+    Capability setBounds(uint64_t new_length) const;
+
+    /** CSetBoundsExact: as setBounds but faults if rounding occurs. */
+    Capability setBoundsExact(uint64_t new_length) const;
+
+    /** CAndPerm: intersect permissions. */
+    Capability andPerms(uint16_t mask) const;
+
+    /** Copy with the tag cleared (what a revocation sweep does). */
+    Capability withTagCleared() const;
+
+    /** In-place tag clear. */
+    void clearTag() { tag_ = false; }
+    /// @}
+
+    /** @name Memory representation (16-byte word + out-of-band tag) */
+    /// @{
+
+    /** Low 64 bits: the address word. */
+    uint64_t packLow() const { return address_; }
+
+    /** High 64 bits: perms [63:49] and compressed bounds [45:0]. */
+    uint64_t packHigh() const;
+
+    /** Rebuild from a 16-byte memory word and its tag bit. */
+    static Capability unpack(uint64_t lo, uint64_t hi, bool tag);
+
+    /**
+     * Fast path used by the revocation sweep: decode only the base of
+     * a packed capability word (the shadow-map lookup key, §3.2).
+     */
+    static uint64_t decodeBase(uint64_t lo, uint64_t hi);
+    /// @}
+
+    bool operator==(const Capability &o) const = default;
+
+    /** Debug rendering: "0x1000 [0x1000,0x2000) perms=0x..f tag=1". */
+    std::string toString() const;
+
+  private:
+    Capability(uint64_t address, Encoding enc, uint16_t perms, bool tag)
+        : address_(address), bounds_(enc), perms_(perms), tag_(tag)
+    {}
+
+    uint64_t address_ = 0;
+    Encoding bounds_{};
+    uint16_t perms_ = 0;
+    bool tag_ = false;
+};
+
+} // namespace cap
+} // namespace cherivoke
+
+#endif // CHERIVOKE_CAP_CAPABILITY_HH

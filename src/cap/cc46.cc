@@ -1,0 +1,183 @@
+#include "cap/cc46.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace cap {
+
+namespace {
+
+/** Shift that tolerates counts >= 64 (yields 0). */
+constexpr u128
+shl128(u128 value, unsigned count)
+{
+    return count >= 128 ? u128{0} : (value << count);
+}
+
+constexpr uint64_t
+shr64(uint64_t value, unsigned count)
+{
+    return count >= 64 ? 0 : (value >> count);
+}
+
+/** Decoded field view shared by decode paths. */
+struct Fields
+{
+    unsigned eff_exp;   //!< effective exponent Ee
+    unsigned eff_mw;    //!< effective mantissa width MWe
+    uint64_t bm;        //!< bottom mantissa
+    uint64_t tm;        //!< top mantissa
+};
+
+Fields
+extractFields(const Encoding &enc)
+{
+    Fields f;
+    if (!enc.internalExponent()) {
+        f.eff_exp = 0;
+        f.eff_mw = kMantissaWidth;
+        f.bm = enc.rawB();
+        f.tm = enc.rawT();
+    } else {
+        const unsigned e = static_cast<unsigned>(
+            ((enc.rawB() & 0x7) << 3) | (enc.rawT() & 0x7));
+        f.eff_exp = e + 3;
+        f.eff_mw = kInternalMantissaWidth;
+        f.bm = enc.rawB() >> 3;
+        f.tm = enc.rawT() >> 3;
+    }
+    return f;
+}
+
+/** Largest span (in granules of 2^Ee) for a given mantissa width.
+ *  Strict: a span equal to 2^mw - 2^(mw-3) would place the top
+ *  mantissa on the representable boundary R. */
+constexpr uint64_t
+maxSpan(unsigned mw)
+{
+    return (uint64_t{1} << mw) - (uint64_t{1} << (mw - 3)) - 1;
+}
+
+} // namespace
+
+Bounds
+decode(const Encoding &enc, uint64_t address)
+{
+    const Fields f = extractFields(enc);
+    const uint64_t mw_mask = maskLow(f.eff_mw);
+
+    const uint64_t amid = shr64(address, f.eff_exp) & mw_mask;
+    const unsigned window_shift = f.eff_exp + f.eff_mw;
+    const uint64_t atop = shr64(address, window_shift);
+
+    // Start of the representable space: one eighth of the window
+    // below the bottom mantissa (the CHERI Concentrate buffer).
+    const uint64_t r = (f.bm - (uint64_t{1} << (f.eff_mw - 3))) & mw_mask;
+
+    const int a_hi = amid < r ? 1 : 0;
+    const int b_hi = f.bm < r ? 1 : 0;
+    const int t_hi = f.tm < r ? 1 : 0;
+    const int cb = b_hi - a_hi;
+    const int ct = t_hi - a_hi;
+
+    using i128 = __int128;
+    const i128 window = static_cast<i128>(atop);
+
+    i128 base128 = shl128(static_cast<u128>(window + cb), window_shift) +
+                   shl128(f.bm, f.eff_exp);
+    i128 top128 = shl128(static_cast<u128>(window + ct), window_shift) +
+                  shl128(f.tm, f.eff_exp);
+
+    Bounds b;
+    b.base = static_cast<uint64_t>(base128);
+    // Top lives in [0, 2^64]; mask to 65 bits to drop borrow artifacts.
+    b.top = static_cast<u128>(top128) & ((u128{1} << 65) - 1);
+    return b;
+}
+
+EncodeResult
+encode(uint64_t base, u128 top)
+{
+    CHERIVOKE_ASSERT(top >= base, "(encode: top below base)");
+    CHERIVOKE_ASSERT(top <= (u128{1} << 64), "(encode: top beyond 2^64)");
+    const u128 length = top - base;
+
+    EncodeResult res;
+    if (length <= kMaxSmallLength) {
+        // IE = 0: byte-exact for any alignment.
+        const uint64_t b_field = base & maskLow(kMantissaWidth);
+        const uint64_t t_field =
+            static_cast<uint64_t>(top) & maskLow(kMantissaWidth);
+        res.enc.bits = (b_field << 23) | (t_field << 1);
+        res.exact = true;
+        res.actual = Bounds{base, top};
+        return res;
+    }
+
+    // IE = 1: find the smallest exponent whose granule count fits the
+    // 19-bit mantissa while preserving the representable buffer.
+    const uint64_t span_limit = maxSpan(kInternalMantissaWidth);
+    for (unsigned e = 0; e <= kMaxExponent; ++e) {
+        const unsigned shift = e + 3;
+        const u128 align = u128{1} << shift;
+        const uint64_t b_gran = shr64(base, shift);
+        const u128 t_ceil = (top + align - 1) >> shift;
+        const uint64_t t_gran = static_cast<uint64_t>(t_ceil);
+        if (static_cast<u128>(t_gran) - b_gran > span_limit)
+            continue;
+
+        const uint64_t bm = b_gran & maskLow(kInternalMantissaWidth);
+        const uint64_t tm = t_gran & maskLow(kInternalMantissaWidth);
+        const uint64_t raw_b = (bm << 3) | ((e >> 3) & 0x7);
+        const uint64_t raw_t = (tm << 3) | (e & 0x7);
+        res.enc.bits = (uint64_t{1} << 45) | (raw_b << 23) | (raw_t << 1);
+        res.actual.base = static_cast<uint64_t>(u128{b_gran} << shift);
+        res.actual.top = u128{t_gran} << shift;
+        res.exact = (res.actual.base == base) && (res.actual.top == top);
+        return res;
+    }
+    panic("cc46::encode: no exponent fits length");
+}
+
+bool
+representable(const Encoding &enc, uint64_t old_address,
+              uint64_t new_address)
+{
+    // Exact semantic check: the encoding must decode to identical
+    // bounds from both addresses. Hardware uses a fast conservative
+    // in-window test; the semantic check is its specification.
+    return decode(enc, old_address) == decode(enc, new_address);
+}
+
+uint64_t
+representableAlignmentMask(uint64_t length)
+{
+    if (length <= kMaxSmallLength)
+        return ~uint64_t{0};
+    // Conservative: after rounding base down and top up the span can
+    // grow by up to 2 granules, so demand 2 granules of slack.
+    const uint64_t span_limit = maxSpan(kInternalMantissaWidth) - 2;
+    for (unsigned e = 0; e <= kMaxExponent; ++e) {
+        const unsigned shift = e + 3;
+        const uint64_t granules =
+            static_cast<uint64_t>((u128{length} + (u128{1} << shift) - 1)
+                                  >> shift);
+        if (granules <= span_limit)
+            return ~((uint64_t{1} << shift) - 1);
+    }
+    panic("cc46::representableAlignmentMask: length too large");
+}
+
+uint64_t
+roundRepresentableLength(uint64_t length)
+{
+    const uint64_t mask = representableAlignmentMask(length);
+    const uint64_t align = ~mask + 1;
+    if (align == 0)
+        return length; // byte-aligned is fine
+    return alignUp(length, align);
+}
+
+} // namespace cap
+} // namespace cherivoke

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * CC-46: a CHERI-Concentrate-style compressed-bounds codec.
+ *
+ * CHERI-128 capabilities (paper figure 2) pack bounds into a 46-bit
+ * field next to a full 64-bit address. This codec follows the CHERI
+ * Concentrate scheme (Woodruff et al., IEEE ToC 2019): bounds are
+ * stored as exponent-scaled mantissas positioned relative to the
+ * address, with a representable region that lets the address wander
+ * out of bounds without losing the ability to reconstruct base/top.
+ *
+ * Field layout (46 bits):
+ *
+ *     [45]    IE  — internal exponent flag
+ *     [44:23] B   — bottom mantissa (22 bits)
+ *     [22:1]  T   — top mantissa (22 bits)
+ *     [0]     spare
+ *
+ * IE = 0: exponent 0; B and T are the low 22 bits of base and top.
+ *         Any bounds with length <= 2^22 - 2^19 encode exactly at
+ *         byte granularity.
+ * IE = 1: the low 3 bits of B and T hold a 6-bit exponent E and are
+ *         implicitly zero in the mantissas, so the effective mantissa
+ *         is 19 bits at an alignment of 2^(E+3). Base and top must be
+ *         2^(E+3)-aligned to encode exactly; otherwise encoding rounds
+ *         outward (CRepresentableAlignmentMask tells allocators how to
+ *         pad, which dlmalloc_cherivoke uses).
+ *
+ * The parameters differ from shipping CHERI-128 (which stores a 14-bit
+ * B, a 12-bit T with derived top bits), but the mechanics the paper
+ * relies on are identical: monotone non-expansible bounds, exact
+ * encoding for small objects, alignment demands for huge ones, and a
+ * base that always stays within the original allocation (§3.2 fn 2).
+ */
+
+#ifndef CHERIVOKE_CAP_CC46_HH
+#define CHERIVOKE_CAP_CC46_HH
+
+#include <cstdint>
+
+namespace cherivoke {
+namespace cap {
+
+/** 128-bit unsigned for tops that can reach 2^64. */
+using u128 = unsigned __int128;
+
+/** Decoded bounds: [base, top), top may equal 2^64. */
+struct Bounds
+{
+    uint64_t base = 0;
+    u128 top = 0;
+
+    u128 length() const { return top - base; }
+    bool operator==(const Bounds &o) const = default;
+};
+
+/** Codec parameters. */
+constexpr unsigned kMantissaWidth = 22;       //!< MW for IE=0
+constexpr unsigned kInternalMantissaWidth = 19; //!< MW-3 for IE=1
+constexpr unsigned kExponentBits = 6;
+constexpr unsigned kMaxExponent = 46;         //!< enough for 2^64 span
+
+/**
+ * Largest length encodable with IE=0 (exact at byte alignment).
+ * Strictly less than 2^MW - 2^(MW-3): at equality the top mantissa
+ * would land exactly on the representable-region boundary R and the
+ * decode would wrap.
+ */
+constexpr uint64_t kMaxSmallLength =
+    (uint64_t{1} << kMantissaWidth) -
+    (uint64_t{1} << (kMantissaWidth - 3)) - 1;
+
+/** The packed 46-bit bounds field. */
+struct Encoding
+{
+    uint64_t bits = 0; //!< low 46 bits valid
+
+    bool internalExponent() const { return (bits >> 45) & 1; }
+    uint64_t rawB() const { return (bits >> 23) & 0x3fffff; }
+    uint64_t rawT() const { return (bits >> 1) & 0x3fffff; }
+
+    bool operator==(const Encoding &o) const = default;
+};
+
+/** Result of an encode attempt. */
+struct EncodeResult
+{
+    Encoding enc;
+    bool exact = false;   //!< requested bounds encoded without rounding
+    Bounds actual;        //!< the bounds the encoding decodes to
+};
+
+/**
+ * Encode the requested bounds. Rounds base down / top up to the
+ * representable alignment when the request is not exactly encodable.
+ * @param base requested base
+ * @param top requested top (exclusive; may be 2^64)
+ */
+EncodeResult encode(uint64_t base, u128 top);
+
+/**
+ * Decode bounds relative to @p address.
+ * @param enc the packed bounds field
+ * @param address the capability's current address
+ */
+Bounds decode(const Encoding &enc, uint64_t address);
+
+/**
+ * True if changing the address of a capability holding @p enc from
+ * @p old_address to @p new_address still decodes to the same bounds
+ * (the CHERI "representability" check for pointer arithmetic).
+ */
+bool representable(const Encoding &enc, uint64_t old_address,
+                   uint64_t new_address);
+
+/**
+ * Alignment mask a base must satisfy for a region of @p length bytes
+ * to be exactly representable (CRepresentableAlignmentMask).
+ * All-ones (i.e.\ ~0) means byte-aligned is fine.
+ */
+uint64_t representableAlignmentMask(uint64_t length);
+
+/**
+ * Round @p length up so a suitably aligned region of the result is
+ * exactly representable (CRoundRepresentableLength).
+ */
+uint64_t roundRepresentableLength(uint64_t length);
+
+} // namespace cap
+} // namespace cherivoke
+
+#endif // CHERIVOKE_CAP_CC46_HH

@@ -1,0 +1,96 @@
+#include "mem/addr_space.hh"
+
+#include <algorithm>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace mem {
+
+AddressSpace::AddressSpace(uint64_t globals_size, uint64_t stack_size)
+    : root_(cap::Capability::root())
+{
+    globals_ = Segment{"globals", kGlobalsBase,
+                       alignUp(globals_size, kPageBytes)};
+    stack_ = Segment{"stack", kStackBase,
+                     alignUp(stack_size, kPageBytes)};
+    memory_.pageTable().map(globals_.base, globals_.size,
+                            ProtRead | ProtWrite);
+    memory_.pageTable().map(stack_.base, stack_.size,
+                            ProtRead | ProtWrite);
+    mapShadowFor(globals_.base, globals_.size);
+    mapShadowFor(stack_.base, stack_.size);
+}
+
+void
+AddressSpace::mapShadowFor(uint64_t base, uint64_t size)
+{
+    // 1 shadow byte covers 128 bytes (8 granules); round outward to
+    // whole shadow pages. Overlapping re-maps are harmless.
+    const uint64_t shadow_lo = alignDown(shadowAddrOf(base), kPageBytes);
+    const uint64_t shadow_hi =
+        alignUp(shadowAddrOf(base + size), kPageBytes);
+    memory_.pageTable().map(shadow_lo, shadow_hi - shadow_lo,
+                            ProtRead | ProtWrite);
+}
+
+uint64_t
+AddressSpace::mmapHeap(uint64_t size)
+{
+    CHERIVOKE_ASSERT(size > 0);
+    const uint64_t mapped = alignUp(size, kPageBytes);
+    const uint64_t base = heap_brk_;
+    CHERIVOKE_ASSERT(base + mapped <= kStackBase,
+                     "(heap collided with stack segment)");
+    memory_.pageTable().map(base, mapped, ProtRead | ProtWrite);
+    mapShadowFor(base, mapped);
+    heap_.push_back(Segment{"heap", base, mapped});
+    heap_brk_ += mapped;
+    return base;
+}
+
+void
+AddressSpace::munmapHeap(uint64_t base, uint64_t size)
+{
+    const uint64_t mapped = alignUp(size, kPageBytes);
+    auto it = std::find_if(heap_.begin(), heap_.end(),
+                           [&](const Segment &s) {
+                               return s.base == base && s.size == mapped;
+                           });
+    CHERIVOKE_ASSERT(it != heap_.end(),
+                     "(munmapHeap of unknown region)");
+    memory_.pageTable().unmap(base, mapped);
+    // Unmap the shadow only where no other heap region still needs it
+    // (regions are page-aligned and disjoint, and one shadow page
+    // covers 512 KiB of heap, so simply leave boundary pages mapped).
+    const uint64_t shadow_lo = alignUp(shadowAddrOf(base), kPageBytes);
+    const uint64_t shadow_hi =
+        alignDown(shadowAddrOf(base + mapped), kPageBytes);
+    if (shadow_hi > shadow_lo)
+        memory_.pageTable().unmap(shadow_lo, shadow_hi - shadow_lo);
+    heap_.erase(it);
+}
+
+std::vector<Segment>
+AddressSpace::sweepableSegments() const
+{
+    std::vector<Segment> segs;
+    segs.push_back(globals_);
+    segs.push_back(stack_);
+    for (const auto &h : heap_)
+        segs.push_back(h);
+    return segs;
+}
+
+uint64_t
+AddressSpace::heapMappedBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &h : heap_)
+        total += h.size;
+    return total;
+}
+
+} // namespace mem
+} // namespace cherivoke

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Address-space layout for a simulated CheriABI process: globals,
+ * stack, a growable heap, the register file, and the revocation
+ * shadow region at a fixed transform from the heap (paper §5.2:
+ * "each mmap() call is accompanied by a smaller mapping at a fixed
+ * transform from the original allocation").
+ */
+
+#ifndef CHERIVOKE_MEM_ADDR_SPACE_HH
+#define CHERIVOKE_MEM_ADDR_SPACE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cap/capability.hh"
+#include "mem/tagged_memory.hh"
+
+namespace cherivoke {
+namespace mem {
+
+/** Fixed segment bases of the simulated process image. */
+constexpr uint64_t kGlobalsBase = 0x0000'1000'0000ULL;
+constexpr uint64_t kHeapBase    = 0x0000'4000'0000ULL;
+constexpr uint64_t kStackBase   = 0x0000'7f00'0000ULL;
+/** Shadow region: far above everything it shadows. */
+constexpr uint64_t kShadowBase  = 0x0100'0000'0000ULL;
+
+/** shadow address of a heap address: 1 shadow byte per 128 bytes. */
+constexpr uint64_t
+shadowAddrOf(uint64_t addr)
+{
+    return kShadowBase + (addr >> 7);
+}
+
+/** A named mapped region. */
+struct Segment
+{
+    std::string name;
+    uint64_t base = 0;
+    uint64_t size = 0;
+
+    uint64_t end() const { return base + size; }
+};
+
+/** The architectural capability register file (32 registers). */
+class RegisterFile
+{
+  public:
+    static constexpr size_t kNumRegs = 32;
+
+    cap::Capability &reg(size_t i) { return regs_.at(i); }
+    const cap::Capability &reg(size_t i) const { return regs_.at(i); }
+
+    /** Sweep hook: visit every register (paper §3.3 sweeps registers). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &r : regs_)
+            fn(r);
+    }
+
+  private:
+    std::array<cap::Capability, kNumRegs> regs_{};
+};
+
+/**
+ * The simulated process address space. Owns the tagged memory, lays
+ * out globals/stack segments eagerly, and grows the heap via a
+ * simulated mmap that also maps the corresponding shadow pages.
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param globals_size size of the .data/.bss segment
+     * @param stack_size size of the stack segment
+     */
+    explicit AddressSpace(uint64_t globals_size = 4 * MiB,
+                          uint64_t stack_size = 8 * MiB);
+
+    TaggedMemory &memory() { return memory_; }
+    const TaggedMemory &memory() const { return memory_; }
+    RegisterFile &registers() { return regs_; }
+
+    /**
+     * Simulated mmap for heap growth: maps @p size bytes (page
+     * rounded) at the current heap break, plus the shadow pages that
+     * cover the new region. Returns the mapped base.
+     */
+    uint64_t mmapHeap(uint64_t size);
+
+    /** Unmap a heap region and its shadow (paper §5.2). */
+    void munmapHeap(uint64_t base, uint64_t size);
+
+    /** Regions the revocation sweep must cover: globals, stack, and
+     *  every live heap mapping. Excludes the shadow region (it holds
+     *  no capabilities and is CapDirty-clean by construction). */
+    std::vector<Segment> sweepableSegments() const;
+
+    /** Current live heap mappings. */
+    const std::vector<Segment> &heapSegments() const { return heap_; }
+
+    /** Total bytes currently mapped for the heap. */
+    uint64_t heapMappedBytes() const;
+
+    const Segment &globals() const { return globals_; }
+    const Segment &stack() const { return stack_; }
+
+    /** Whole-address-space capability for the TCB (allocator). Its
+     *  base (0) is never inside a quarantined range, satisfying the
+     *  §3.6 requirement that sweeps never revoke allocator access. */
+    const cap::Capability &rootCap() const { return root_; }
+
+  private:
+    void mapShadowFor(uint64_t base, uint64_t size);
+
+    TaggedMemory memory_;
+    RegisterFile regs_;
+    Segment globals_;
+    Segment stack_;
+    std::vector<Segment> heap_;
+    uint64_t heap_brk_ = kHeapBase;
+    cap::Capability root_;
+};
+
+} // namespace mem
+} // namespace cherivoke
+
+#endif // CHERIVOKE_MEM_ADDR_SPACE_HH

@@ -1,0 +1,102 @@
+#include "mem/page_table.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace mem {
+
+void
+PageTable::map(uint64_t base, uint64_t size, uint8_t prot,
+               bool cap_store_inhibit)
+{
+    CHERIVOKE_ASSERT(isAligned(base, kPageBytes) &&
+                     isAligned(size, kPageBytes),
+                     "(map must be page aligned)");
+    for (uint64_t vpn = base >> kPageShift;
+         vpn < (base + size) >> kPageShift; ++vpn) {
+        Pte &pte = ptes_[vpn];
+        pte.prot = prot;
+        pte.capStoreInhibit = cap_store_inhibit;
+    }
+}
+
+void
+PageTable::unmap(uint64_t base, uint64_t size)
+{
+    CHERIVOKE_ASSERT(isAligned(base, kPageBytes) &&
+                     isAligned(size, kPageBytes),
+                     "(unmap must be page aligned)");
+    for (uint64_t vpn = base >> kPageShift;
+         vpn < (base + size) >> kPageShift; ++vpn) {
+        ptes_.erase(vpn);
+    }
+}
+
+const Pte *
+PageTable::lookup(uint64_t addr) const
+{
+    auto it = ptes_.find(addr >> kPageShift);
+    return it == ptes_.end() ? nullptr : &it->second;
+}
+
+Pte *
+PageTable::lookup(uint64_t addr)
+{
+    auto it = ptes_.find(addr >> kPageShift);
+    return it == ptes_.end() ? nullptr : &it->second;
+}
+
+bool
+PageTable::setCapDirty(uint64_t addr)
+{
+    Pte *pte = lookup(addr);
+    CHERIVOKE_ASSERT(pte, "(setCapDirty on unmapped page)");
+    if (pte->capDirty)
+        return false;
+    pte->capDirty = true;
+    return true;
+}
+
+void
+PageTable::clearCapDirty(uint64_t addr)
+{
+    Pte *pte = lookup(addr);
+    CHERIVOKE_ASSERT(pte, "(clearCapDirty on unmapped page)");
+    pte->capDirty = false;
+}
+
+std::vector<uint64_t>
+PageTable::capDirtyPages() const
+{
+    std::vector<uint64_t> pages;
+    for (const auto &[vpn, pte] : ptes_) {
+        if (pte.capDirty)
+            pages.push_back(vpn << kPageShift);
+    }
+    return pages;
+}
+
+std::vector<uint64_t>
+PageTable::mappedPages() const
+{
+    std::vector<uint64_t> pages;
+    pages.reserve(ptes_.size());
+    for (const auto &[vpn, pte] : ptes_)
+        pages.push_back(vpn << kPageShift);
+    return pages;
+}
+
+size_t
+PageTable::capDirtyCount() const
+{
+    size_t n = 0;
+    for (const auto &[vpn, pte] : ptes_) {
+        if (pte.capDirty)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace mem
+} // namespace cherivoke

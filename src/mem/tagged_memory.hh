@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tagged memory: the simulated virtual address space with one validity
+ * tag per 16-byte granule (paper §2.2).
+ *
+ * The tag is the architectural feature CHERIvoke is built on: it
+ * distinguishes capability words from data with neither false
+ * positives nor false negatives. Non-capability writes clear the tags
+ * of every granule they touch; capability stores set exactly one tag
+ * and mark the page's PTE CapDirty.
+ *
+ * Checked accessors take an authorising capability and enforce the
+ * CheriABI rules (tag, bounds, permissions); raw accessors exist for
+ * the trusted computing base (the allocator and the revoker).
+ */
+
+#ifndef CHERIVOKE_MEM_TAGGED_MEMORY_HH
+#define CHERIVOKE_MEM_TAGGED_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "cap/capability.hh"
+#include "mem/page_table.hh"
+#include "stats/counters.hh"
+#include "support/units.hh"
+
+namespace cherivoke {
+namespace mem {
+
+/** Backing store for one simulated page: data plus granule tags. */
+struct Page
+{
+    alignas(16) std::array<uint8_t, kPageBytes> data{};
+    /** One bit per 16-byte granule: 256 bits. */
+    std::array<uint64_t, kGranulesPerPage / 64> tags{};
+    /** Cached population count of tags, for cheap page-level queries. */
+    uint32_t tagCount = 0;
+
+    bool granuleTag(unsigned g) const
+    {
+        return (tags[g >> 6] >> (g & 63)) & 1;
+    }
+    void setGranuleTag(unsigned g);
+    void clearGranuleTag(unsigned g);
+};
+
+/**
+ * The simulated tagged virtual memory. Pages materialise lazily on
+ * first write; reads of untouched mapped pages observe zeros.
+ */
+class TaggedMemory
+{
+  public:
+    TaggedMemory() = default;
+
+    // Not copyable: pages can be large and identity matters.
+    TaggedMemory(const TaggedMemory &) = delete;
+    TaggedMemory &operator=(const TaggedMemory &) = delete;
+
+    PageTable &pageTable() { return pt_; }
+    const PageTable &pageTable() const { return pt_; }
+
+    /** @name Raw (TCB) access — no capability checks */
+    /// @{
+    void writeBytes(uint64_t addr, const void *src, uint64_t size);
+    void readBytes(uint64_t addr, void *dst, uint64_t size) const;
+
+    /**
+     * Counter-free read for the sweeper's inner loop: no page-table
+     * checks, no statistics, safe to call concurrently from several
+     * sweep threads (pages are read-shared; tag clears are confined
+     * to each thread's page partition).
+     */
+    void peekBytes(uint64_t addr, void *dst, uint64_t size) const;
+    void writeU64(uint64_t addr, uint64_t value);
+    uint64_t readU64(uint64_t addr) const;
+    /** memset-style fill; clears covered tags like any data write. */
+    void fill(uint64_t addr, uint8_t byte, uint64_t size);
+
+    /** Store a capability word (16-byte aligned). Sets/clears the tag
+     *  to match cap.tag(); a tagged store marks the PTE CapDirty and
+     *  counts a trap on the clean→dirty transition. */
+    void writeCap(uint64_t addr, const cap::Capability &capability);
+
+    /** Load the 16-byte word at @p addr as a capability + its tag. */
+    cap::Capability readCap(uint64_t addr) const;
+
+    /** The tag of the granule containing @p addr. */
+    bool readTag(uint64_t addr) const;
+
+    /** Revoke: clear the tag of the granule at @p addr (16B aligned).
+     *  Data is left intact, matching tag-clearing semantics. */
+    void clearTagAt(uint64_t addr);
+
+    /**
+     * Copy [src, src+size) to dst preserving capability tags, the way
+     * a CHERI memcpy compiled to capability loads/stores would.
+     * Ranges must not overlap; both addresses 16-byte aligned.
+     */
+    void copyPreservingTags(uint64_t dst, uint64_t src, uint64_t size);
+    /// @}
+
+    /** @name Checked (CheriABI) access through a capability */
+    /// @{
+    uint64_t loadU64(const cap::Capability &auth, uint64_t addr) const;
+    void storeU64(const cap::Capability &auth, uint64_t addr,
+                  uint64_t value);
+    cap::Capability loadCap(const cap::Capability &auth,
+                            uint64_t addr) const;
+    void storeCap(const cap::Capability &auth, uint64_t addr,
+                  const cap::Capability &value);
+    /// @}
+
+    /** @name Revocation load barrier (Cornucopia-style) */
+    /// @{
+
+    /**
+     * Install a load-side revocation check: while active, any
+     * capability load whose base the predicate reports as revoked
+     * has its tag stripped — in the loaded value *and* in place.
+     * This is the barrier that makes revocation sound while a sweep
+     * runs concurrently with the program (§3.5): a dangling
+     * capability copied out of a not-yet-swept region is caught at
+     * the load. CHERIvoke's successor (Cornucopia) deploys exactly
+     * this check in hardware.
+     */
+    void installLoadBarrier(std::function<bool(uint64_t)> is_revoked);
+
+    /** Remove the barrier (the epoch's sweep has completed). */
+    void removeLoadBarrier();
+
+    bool loadBarrierActive() const
+    {
+        return static_cast<bool>(load_barrier_);
+    }
+    /// @}
+
+    /** @name Sweep support */
+    /// @{
+    /** 4-bit mask of capability tags in the 64-byte line (CLoadTags). */
+    uint8_t lineTagMask(uint64_t line_addr) const;
+
+    /** True if the page containing @p addr holds any tagged granule. */
+    bool pageHasTags(uint64_t addr) const;
+
+    /** Tag population of the page containing @p addr. */
+    uint32_t pageTagCount(uint64_t addr) const;
+
+    /** Direct page lookup for the sweeper's inner loop;
+     *  nullptr when the page was never written. */
+    const Page *pageIfPresent(uint64_t addr) const;
+    Page *pageIfPresentMutable(uint64_t addr);
+    /// @}
+
+    /** Pages that have been materialised (touched by a write). */
+    size_t residentPages() const { return pages_.size(); }
+
+    stats::CounterGroup &counters() { return counters_; }
+    const stats::CounterGroup &counters() const { return counters_; }
+
+  private:
+    Page &pageForWrite(uint64_t addr);
+    void checkMapped(uint64_t addr, uint64_t size, bool write) const;
+    void checkAccess(const cap::Capability &auth, uint64_t addr,
+                     uint64_t size, uint16_t perm_needed) const;
+    /** Clear tags of all granules overlapping [addr, addr+size). */
+    void clearTagsInRange(uint64_t addr, uint64_t size);
+
+    std::map<uint64_t, std::unique_ptr<Page>> pages_; //!< by vpn
+    PageTable pt_;
+    /** mutable: read paths account traffic too. */
+    mutable stats::CounterGroup counters_;
+    std::function<bool(uint64_t)> load_barrier_;
+};
+
+} // namespace mem
+} // namespace cherivoke
+
+#endif // CHERIVOKE_MEM_TAGGED_MEMORY_HH

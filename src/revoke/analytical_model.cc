@@ -1,0 +1,44 @@
+#include "revoke/analytical_model.hh"
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace revoke {
+
+double
+predictedRuntimeOverhead(const OverheadParams &params)
+{
+    CHERIVOKE_ASSERT(params.scanRateBytesPerSec > 0 &&
+                     params.quarantineFraction > 0,
+                     "(model denominators must be positive)");
+    return params.freeRateBytesPerSec * params.pointerDensity /
+           (params.scanRateBytesPerSec * params.quarantineFraction);
+}
+
+double
+sweepPeriodSeconds(uint64_t quarantine_bytes,
+                   double free_rate_bytes_per_sec)
+{
+    CHERIVOKE_ASSERT(free_rate_bytes_per_sec > 0);
+    return static_cast<double>(quarantine_bytes) /
+           free_rate_bytes_per_sec;
+}
+
+double
+sweepSeconds(uint64_t swept_bytes, double scan_rate_bytes_per_sec)
+{
+    CHERIVOKE_ASSERT(scan_rate_bytes_per_sec > 0);
+    return static_cast<double>(swept_bytes) /
+           scan_rate_bytes_per_sec;
+}
+
+double
+predictedMemoryOverhead(double quarantine_fraction)
+{
+    // Quarantine plus the 1/128 shadow map (§3.2: "less than 1% of
+    // the heap").
+    return quarantine_fraction + 1.0 / 128.0;
+}
+
+} // namespace revoke
+} // namespace cherivoke

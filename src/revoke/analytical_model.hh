@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The paper's analytical overhead model (§6.1.3):
+ *
+ *     RuntimeOverhead ≈ FreeRate * PointerDensity
+ *                       / (ScanRate * QuarantineFraction)
+ *
+ * The numerator is an application-specific cost factor; ScanRate is a
+ * property of the memory system and sweep kernel; QuarantineFraction
+ * trades memory for time (figure 9).
+ */
+
+#ifndef CHERIVOKE_REVOKE_ANALYTICAL_MODEL_HH
+#define CHERIVOKE_REVOKE_ANALYTICAL_MODEL_HH
+
+#include <cstdint>
+
+namespace cherivoke {
+namespace revoke {
+
+/** Inputs to the §6.1.3 overhead equation. */
+struct OverheadParams
+{
+    /** Application free throughput in bytes/second (table 2). */
+    double freeRateBytesPerSec = 0;
+    /** Fraction of sweepable memory that holds pointers, at the
+     *  elimination granularity in use (page or line). */
+    double pointerDensity = 0;
+    /** Effective sweep rate over pointer-bearing memory, bytes/s. */
+    double scanRateBytesPerSec = 1;
+    /** Quarantine size as a fraction of the heap (default 0.25). */
+    double quarantineFraction = 0.25;
+};
+
+/** The §6.1.3 runtime-overhead estimate (fraction, e.g.\ 0.047). */
+double predictedRuntimeOverhead(const OverheadParams &params);
+
+/** Seconds between sweeps for a given quarantine budget. */
+double sweepPeriodSeconds(uint64_t quarantine_bytes,
+                          double free_rate_bytes_per_sec);
+
+/** Seconds one sweep takes for a given amount of swept memory. */
+double sweepSeconds(uint64_t swept_bytes,
+                    double scan_rate_bytes_per_sec);
+
+/**
+ * Memory overhead of the quarantine + shadow map: the paper's 25%
+ * quarantine costs ~12.5% of *total* memory on average because the
+ * heap is only part of the footprint; we report the heap-relative
+ * fraction plus the 1/128 shadow cost.
+ */
+double predictedMemoryOverhead(double quarantine_fraction);
+
+} // namespace revoke
+} // namespace cherivoke
+
+#endif // CHERIVOKE_REVOKE_ANALYTICAL_MODEL_HH

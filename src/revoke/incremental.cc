@@ -1,0 +1,98 @@
+#include "revoke/incremental.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace revoke {
+
+IncrementalRevoker::~IncrementalRevoker()
+{
+    // Never leave a dangling barrier behind.
+    if (open_)
+        space_->memory().removeLoadBarrier();
+}
+
+void
+IncrementalRevoker::beginEpoch()
+{
+    CHERIVOKE_ASSERT(!open_, "(epoch already open)");
+    open_ = true;
+    epoch_ = EpochStats{};
+    epoch_.bytesReleased = allocator_->quarantinedBytes();
+
+    // Freeze + paint this epoch's revocation set.
+    epoch_.paint = allocator_->prepareSweep();
+
+    // The barrier: loads of painted-base capabilities are stripped.
+    // The shadow map is read-only for the duration of the epoch
+    // (later frees wait for the next epoch), so the predicate is
+    // stable.
+    const alloc::ShadowMap &shadow = allocator_->shadowMap();
+    space_->memory().installLoadBarrier(
+        [&shadow](uint64_t base) { return shadow.isRevoked(base); });
+
+    // Registers first: the mutator continues running out of them.
+    epoch_.sweep += sweeper_.sweepRegisters(*space_, shadow);
+
+    worklist_ = sweeper_.buildWorklist(*space_, epoch_.sweep);
+    next_ = 0;
+}
+
+size_t
+IncrementalRevoker::step(size_t max_pages,
+                         cache::Hierarchy *hierarchy)
+{
+    CHERIVOKE_ASSERT(open_, "(step without an open epoch)");
+    if (next_ < worklist_.size() && max_pages > 0) {
+        const size_t end =
+            std::min(worklist_.size(), next_ + max_pages);
+        const std::vector<uint64_t> slice(
+            worklist_.begin() + static_cast<long>(next_),
+            worklist_.begin() + static_cast<long>(end));
+        next_ = end;
+        epoch_.sweep += sweeper_.sweepPageList(
+            *space_, allocator_->shadowMap(), slice, hierarchy);
+    }
+    return worklist_.size() - next_;
+}
+
+void
+IncrementalRevoker::finishEpoch()
+{
+    CHERIVOKE_ASSERT(open_, "(finish without an open epoch)");
+    CHERIVOKE_ASSERT(next_ == worklist_.size(),
+                     "(worklist not drained: call step() to "
+                     "completion first)");
+    // Belt and braces: the registers once more (they were swept at
+    // begin and the barrier kept them clean, but it is cheap).
+    epoch_.sweep +=
+        sweeper_.sweepRegisters(*space_, allocator_->shadowMap());
+
+    space_->memory().removeLoadBarrier();
+    epoch_.internalFrees = allocator_->finishSweep();
+    open_ = false;
+    worklist_.clear();
+    next_ = 0;
+
+    ++totals_.epochs;
+    totals_.paint += epoch_.paint;
+    totals_.sweep += epoch_.sweep;
+    totals_.internalFrees += epoch_.internalFrees;
+    totals_.bytesReleased += epoch_.bytesReleased;
+}
+
+EpochStats
+IncrementalRevoker::revokeIncrementally(size_t pages_per_step)
+{
+    CHERIVOKE_ASSERT(pages_per_step > 0);
+    beginEpoch();
+    while (step(pages_per_step) > 0) {
+    }
+    finishEpoch();
+    return epoch_;
+}
+
+} // namespace revoke
+} // namespace cherivoke

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Incremental revocation with a load-side barrier.
+ *
+ * §3.5 observes that "sweeping revocation can be made independent of
+ * execution and can run alongside the execution of the program".
+ * Doing that *soundly* needs one more ingredient the paper's
+ * successor system (Cornucopia, deployed in CheriBSD) added: a
+ * load-side revocation check. While an epoch is open, a capability
+ * loaded from a not-yet-swept region whose base is painted in the
+ * shadow map is stripped at the load — so the mutator can never copy
+ * a dangling capability from unswept memory into memory the sweep
+ * has already passed.
+ *
+ * Epoch protocol:
+ *
+ *     inc.beginEpoch();             // paint, barrier on, regs swept
+ *     while (inc.step(kPagesPerStep) > 0) {
+ *         ... mutator runs: malloc/free/load/store ...
+ *     }
+ *     inc.finishEpoch();            // regs again, barrier off,
+ *                                   // frozen quarantine released
+ *
+ * The pause per step is bounded by kPagesPerStep; frees made while
+ * the epoch is open join the *next* epoch's quarantine (the
+ * allocator freezes the revocation set at beginEpoch).
+ */
+
+#ifndef CHERIVOKE_REVOKE_INCREMENTAL_HH
+#define CHERIVOKE_REVOKE_INCREMENTAL_HH
+
+#include <vector>
+
+#include "alloc/cherivoke_alloc.hh"
+#include "revoke/revoker.hh"
+#include "revoke/sweeper.hh"
+
+namespace cherivoke {
+namespace revoke {
+
+/** The incremental-epoch revoker. */
+class IncrementalRevoker
+{
+  public:
+    IncrementalRevoker(alloc::CherivokeAllocator &allocator,
+                       mem::AddressSpace &space,
+                       SweepOptions options = SweepOptions{})
+        : allocator_(&allocator), space_(&space), sweeper_(options)
+    {}
+
+    ~IncrementalRevoker();
+
+    /** True while an epoch is open (barrier active). */
+    bool epochOpen() const { return open_; }
+
+    /**
+     * Open an epoch: freeze + paint the quarantine, install the
+     * load barrier, sweep the registers, build the page worklist.
+     */
+    void beginEpoch();
+
+    /**
+     * Sweep up to @p max_pages pages of the worklist (one bounded
+     * pause).
+     * @return pages still remaining in the worklist
+     */
+    size_t step(size_t max_pages,
+                cache::Hierarchy *hierarchy = nullptr);
+
+    /**
+     * Close the epoch: worklist must be drained; sweeps registers
+     * once more, removes the barrier, unpaints and releases the
+     * frozen quarantine.
+     */
+    void finishEpoch();
+
+    /** Convenience: run one whole epoch in bounded steps. */
+    EpochStats revokeIncrementally(size_t pages_per_step);
+
+    /** Pages remaining in the open epoch's worklist. */
+    size_t pagesRemaining() const
+    {
+        return worklist_.size() - next_;
+    }
+
+    const RevokerTotals &totals() const { return totals_; }
+    Sweeper &sweeper() { return sweeper_; }
+
+  private:
+    alloc::CherivokeAllocator *allocator_;
+    mem::AddressSpace *space_;
+    Sweeper sweeper_;
+    RevokerTotals totals_;
+
+    bool open_ = false;
+    std::vector<uint64_t> worklist_;
+    size_t next_ = 0;
+    EpochStats epoch_;
+};
+
+} // namespace revoke
+} // namespace cherivoke
+
+#endif // CHERIVOKE_REVOKE_INCREMENTAL_HH

@@ -1,0 +1,43 @@
+#include "revoke/revoker.hh"
+
+namespace cherivoke {
+namespace revoke {
+
+bool
+Revoker::maybeRevoke(cache::Hierarchy *hierarchy)
+{
+    if (!allocator_->needsSweep())
+        return false;
+    revokeNow(hierarchy);
+    return true;
+}
+
+EpochStats
+Revoker::freeAndRevoke(const cap::Capability &capability,
+                       cache::Hierarchy *hierarchy)
+{
+    allocator_->free(capability);
+    return revokeNow(hierarchy);
+}
+
+EpochStats
+Revoker::revokeNow(cache::Hierarchy *hierarchy)
+{
+    EpochStats epoch;
+    epoch.bytesReleased = allocator_->quarantinedBytes();
+    epoch.paint = allocator_->prepareSweep();
+    epoch.sweep = sweeper_.sweep(*space_, allocator_->shadowMap(),
+                                 hierarchy);
+    epoch.internalFrees = allocator_->finishSweep();
+
+    ++totals_.epochs;
+    totals_.paint += epoch.paint;
+    totals_.sweep += epoch.sweep;
+    totals_.internalFrees += epoch.internalFrees;
+    totals_.bytesReleased += epoch.bytesReleased;
+    last_ = epoch;
+    return epoch;
+}
+
+} // namespace revoke
+} // namespace cherivoke

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The revocation orchestrator: drives the full CHERIvoke epoch
+ * protocol (figure 3) — quarantine fills → paint shadow map → sweep
+ * memory and registers → unpaint → release quarantine for reuse.
+ */
+
+#ifndef CHERIVOKE_REVOKE_REVOKER_HH
+#define CHERIVOKE_REVOKE_REVOKER_HH
+
+#include <cstdint>
+
+#include "alloc/cherivoke_alloc.hh"
+#include "revoke/sweeper.hh"
+
+namespace cherivoke {
+namespace revoke {
+
+/** Statistics for one complete revocation epoch. */
+struct EpochStats
+{
+    alloc::PaintStats paint;
+    SweepStats sweep;
+    uint64_t internalFrees = 0;
+    uint64_t bytesReleased = 0;
+};
+
+/** Cumulative statistics across all epochs. */
+struct RevokerTotals
+{
+    uint64_t epochs = 0;
+    alloc::PaintStats paint;
+    SweepStats sweep;
+    uint64_t internalFrees = 0;
+    uint64_t bytesReleased = 0;
+};
+
+/**
+ * Couples a CherivokeAllocator with a Sweeper and runs revocation
+ * epochs when the quarantine is full.
+ */
+class Revoker
+{
+  public:
+    Revoker(alloc::CherivokeAllocator &allocator,
+            mem::AddressSpace &space,
+            SweepOptions options = SweepOptions{})
+        : allocator_(&allocator), space_(&space), sweeper_(options)
+    {}
+
+    /** Run an epoch if the quarantine is at/over budget.
+     *  @return true if a sweep ran */
+    bool maybeRevoke(cache::Hierarchy *hierarchy = nullptr);
+
+    /** Run an epoch unconditionally (used by a strict-UAF mode that
+     *  sweeps on every free, §3.7). */
+    EpochStats revokeNow(cache::Hierarchy *hierarchy = nullptr);
+
+    /**
+     * Strict use-after-free debugging (§3.7: "CHERI could facilitate
+     * strict use-after-free for debugging if a sweep was performed
+     * on every free"): free the allocation and immediately revoke
+     * every reference to it — not merely before reallocation.
+     * Far more expensive than batched revocation; for debug builds.
+     */
+    EpochStats freeAndRevoke(const cap::Capability &capability,
+                             cache::Hierarchy *hierarchy = nullptr);
+
+    Sweeper &sweeper() { return sweeper_; }
+    const RevokerTotals &totals() const { return totals_; }
+    const EpochStats &lastEpoch() const { return last_; }
+
+  private:
+    alloc::CherivokeAllocator *allocator_;
+    mem::AddressSpace *space_;
+    Sweeper sweeper_;
+    RevokerTotals totals_;
+    EpochStats last_;
+};
+
+} // namespace revoke
+} // namespace cherivoke
+
+#endif // CHERIVOKE_REVOKE_REVOKER_HH

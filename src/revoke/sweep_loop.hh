@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sweep-loop kernel variants and their per-iteration cost models
+ * (paper §3.3 and §6.2, figure 7).
+ *
+ * All three kernels are functionally identical — they examine every
+ * capability word, look up its base in the shadow map, and clear
+ * the tags of dangling references. They differ in modelled cost:
+ *
+ *  - Naive: the §3.3 listing compiled directly; two data-dependent
+ *    branches that the predictor frequently misses.
+ *  - Unrolled: manually unrolled and software-pipelined; fewer
+ *    per-iteration overheads, branches converted to conditional
+ *    moves.
+ *  - Vector: AVX2-style, one whole cache line per iteration in ~28
+ *    instructions, with an unconditional store (memcpy-rate bound).
+ *
+ * The cost parameters are calibrated per machine profile in
+ * sim::MachineProfile so figure 7's compute-vs-bandwidth crossover
+ * reproduces.
+ */
+
+#ifndef CHERIVOKE_REVOKE_SWEEP_LOOP_HH
+#define CHERIVOKE_REVOKE_SWEEP_LOOP_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cherivoke {
+namespace revoke {
+
+/** Which sweeping kernel the sweeper models. */
+enum class SweepKernel
+{
+    Naive,    //!< §3.3 listing with data-dependent branches
+    Unrolled, //!< unrolled + manually pipelined
+    Vector,   //!< AVX2 line-at-a-time with unconditional store
+};
+
+const char *sweepKernelName(SweepKernel kernel);
+
+/** Per-kernel cost parameters (cycles; calibrated per profile). */
+struct KernelCosts
+{
+    /** Cycles to process one capability-sized word that holds no tag. */
+    double cyclesPerUntaggedWord = 1.0;
+    /** Extra cycles for a tagged word (shadow lookup + possible
+     *  conditional store). */
+    double cyclesPerTaggedWord = 4.0;
+    /** Branch-misprediction penalty charged per tagged word for
+     *  branchy kernels (0 for branchless). */
+    double mispredictPenalty = 0.0;
+    /** Fraction of tagged words that mispredict. */
+    double mispredictRate = 0.0;
+    /** Fixed per-line overhead (loop control, address generation). */
+    double cyclesPerLine = 0.0;
+};
+
+/** Default cost models for a wide out-of-order core (x86 profile). */
+KernelCosts defaultCosts(SweepKernel kernel);
+
+/**
+ * Cycles the kernel spends processing one 64-byte line containing
+ * @p tagged_words tagged capability words (0..4).
+ */
+double kernelCyclesForLine(const KernelCosts &costs,
+                           unsigned tagged_words);
+
+} // namespace revoke
+} // namespace cherivoke
+
+#endif // CHERIVOKE_REVOKE_SWEEP_LOOP_HH

@@ -1,0 +1,218 @@
+#include "revoke/sweeper.hh"
+
+#include <cstring>
+#include <thread>
+
+#include "cap/capability.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace revoke {
+
+namespace {
+
+/** Modelled CLoadTags round trip (L1 -> L2 -> tag cache, §6.3). */
+constexpr double kCloadTagsCycles = 10.0;
+
+} // namespace
+
+SweepStats &
+SweepStats::operator+=(const SweepStats &o)
+{
+    pagesConsidered += o.pagesConsidered;
+    pagesSwept += o.pagesSwept;
+    pagesSkippedPte += o.pagesSkippedPte;
+    pagesCleaned += o.pagesCleaned;
+    linesSwept += o.linesSwept;
+    linesSkippedTags += o.linesSkippedTags;
+    capsExamined += o.capsExamined;
+    capsRevoked += o.capsRevoked;
+    regsExamined += o.regsExamined;
+    regsRevoked += o.regsRevoked;
+    kernelCycles += o.kernelCycles;
+    return *this;
+}
+
+std::vector<uint64_t>
+Sweeper::buildWorklist(mem::AddressSpace &space,
+                       SweepStats &stats) const
+{
+    // Assemble the work list of pages, applying PTE CapDirty
+    // elimination (§3.4.2: "an array of pages that could contain
+    // capabilities", the §5.3 system API).
+    auto &pt = space.memory().pageTable();
+    std::vector<uint64_t> pages;
+    for (const mem::Segment &seg : space.sweepableSegments()) {
+        for (uint64_t p = seg.base; p < seg.end(); p += kPageBytes) {
+            ++stats.pagesConsidered;
+            if (options_.usePteCapDirty) {
+                const mem::Pte *pte = pt.lookup(p);
+                if (!pte || !pte->capDirty) {
+                    ++stats.pagesSkippedPte;
+                    continue;
+                }
+            }
+            pages.push_back(p);
+        }
+    }
+    return pages;
+}
+
+SweepStats
+Sweeper::sweepRegisters(mem::AddressSpace &space,
+                        const alloc::ShadowMap &shadow)
+{
+    SweepStats stats;
+    space.registers().forEach([&](cap::Capability &reg) {
+        if (!reg.tag())
+            return;
+        ++stats.regsExamined;
+        if (shadow.isRevoked(reg.base())) {
+            reg.clearTag();
+            ++stats.regsRevoked;
+        }
+    });
+    return stats;
+}
+
+SweepStats
+Sweeper::sweep(mem::AddressSpace &space,
+               const alloc::ShadowMap &shadow,
+               cache::Hierarchy *hierarchy)
+{
+    SweepStats stats;
+    const std::vector<uint64_t> pages = buildWorklist(space, stats);
+
+    if (options_.threads <= 1 || pages.size() < 2) {
+        stats += sweepPageList(space, shadow, pages, hierarchy);
+    } else {
+        // Partition the page list into contiguous slices (§3.5).
+        // Traffic modelling is meaningful only serially.
+        const unsigned n = options_.threads;
+        std::vector<SweepStats> partial(n);
+        std::vector<std::thread> workers;
+        const size_t per = (pages.size() + n - 1) / n;
+        for (unsigned t = 0; t < n; ++t) {
+            const size_t lo = std::min(pages.size(), t * per);
+            const size_t hi = std::min(pages.size(), lo + per);
+            workers.emplace_back([&, t, lo, hi] {
+                const std::vector<uint64_t> slice(
+                    pages.begin() + static_cast<long>(lo),
+                    pages.begin() + static_cast<long>(hi));
+                partial[t] =
+                    sweepPageList(space, shadow, slice, nullptr);
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+        for (const auto &p : partial)
+            stats += p;
+    }
+
+    // Sweep the register file (§3.3: "the stack, register files...").
+    stats += sweepRegisters(space, shadow);
+    return stats;
+}
+
+SweepStats
+Sweeper::sweepPageList(mem::AddressSpace &space,
+                       const alloc::ShadowMap &shadow,
+                       const std::vector<uint64_t> &pages,
+                       cache::Hierarchy *hierarchy)
+{
+    SweepStats stats;
+    auto &memory = space.memory();
+    auto &pt = memory.pageTable();
+    const KernelCosts costs = defaultCosts(options_.kernel);
+
+    // Root-level tag presence for the 8 KiB leaf-tag-line region.
+    auto region_has_tags = [&](uint64_t line) {
+        const uint64_t region = alignDown(line, 8 * KiB);
+        return memory.pageTagCount(region) > 0 ||
+               memory.pageTagCount(region + kPageBytes) > 0;
+    };
+
+    for (const uint64_t page_addr : pages) {
+        ++stats.pagesSwept;
+        mem::Page *page = memory.pageIfPresentMutable(page_addr);
+        bool any_tag_found = false;
+
+        for (uint64_t line = page_addr;
+             line < page_addr + kPageBytes; line += kLineBytes) {
+            // Tag mask for the 4 capability words in this line.
+            uint8_t mask = 0;
+            if (page) {
+                const unsigned g0 = static_cast<unsigned>(
+                    (line & (kPageBytes - 1)) >> kGranuleShift);
+                for (unsigned i = 0; i < kCapsPerLine; ++i) {
+                    if (page->granuleTag(g0 + i))
+                        mask |= static_cast<uint8_t>(1u << i);
+                }
+            }
+
+            if (options_.useCloadTags) {
+                stats.kernelCycles += kCloadTagsCycles;
+                if (hierarchy) {
+                    hierarchy->cloadTags(line, region_has_tags(line),
+                                         options_.cloadTagsPrefetch,
+                                         mask != 0);
+                }
+                if (mask == 0) {
+                    ++stats.linesSkippedTags;
+                    continue;
+                }
+            }
+
+            ++stats.linesSwept;
+            any_tag_found |= mask != 0;
+            stats.kernelCycles +=
+                kernelCyclesForLine(costs, popCount(mask));
+            if (hierarchy)
+                hierarchy->access(line, kLineBytes, false);
+            if (mask == 0)
+                continue;
+
+            bool revoked_in_line = false;
+            for (unsigned i = 0; i < kCapsPerLine; ++i) {
+                if (!(mask & (1u << i)))
+                    continue;
+                ++stats.capsExamined;
+                const uint64_t addr = line + i * kCapBytes;
+                uint64_t lo, hi;
+                const uint64_t off = addr & (kPageBytes - 1);
+                std::memcpy(&lo, page->data.data() + off, 8);
+                std::memcpy(&hi, page->data.data() + off + 8, 8);
+                const uint64_t base =
+                    cap::Capability::decodeBase(lo, hi);
+                if (hierarchy) {
+                    hierarchy->access(mem::shadowAddrOf(base), 1,
+                                      false);
+                }
+                if (shadow.isRevoked(base)) {
+                    memory.clearTagAt(addr);
+                    ++stats.capsRevoked;
+                    revoked_in_line = true;
+                }
+            }
+            if (revoked_in_line && hierarchy) {
+                hierarchy->access(line, kLineBytes, true);
+                hierarchy->recordRevocationTagWrite(line);
+            }
+        }
+
+        // §3.4.2: a CapDirty page found without capabilities can be
+        // marked clean again.
+        if (options_.usePteCapDirty &&
+            options_.cleanFalsePositivePages && !any_tag_found) {
+            if (pt.lookup(page_addr)) {
+                pt.clearCapDirty(page_addr);
+                ++stats.pagesCleaned;
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace revoke
+} // namespace cherivoke

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The experiment runner shared by the benchmark harness: synthesises
+ * a table-2-calibrated workload, replays it through the CHERIvoke
+ * allocator + revoker on a machine profile, and derives the
+ * normalised quantities the paper's figures report.
+ *
+ * Scale invariance: heap size and allocation rates are scaled down
+ * together by `scale`, which preserves sweep *frequency*
+ * (= FreeRate / QuarantineSize) exactly; per-sweep work shrinks by
+ * `scale`, so byte- and cycle-proportional times are multiplied back
+ * by 1/scale while per-epoch fixed costs are not (see sim/machine).
+ * Overhead fractions therefore match an unscaled run.
+ *
+ * The run produces three separable cost components, matching the
+ * figure 6 decomposition:
+ *  - quarantine effect: cache-locality penalty from delayed reuse
+ *    (temporal fragmentation, §6.1.1) minus the free-batching gain,
+ *    computed from a calibrated model because our simulator does not
+ *    execute the application's own loads/stores;
+ *  - shadow-map maintenance: modelled time for the measured paint
+ *    operations (§6.1.2);
+ *  - sweeping: modelled time for the measured sweep statistics
+ *    (§6.1.3), the dominant term.
+ */
+
+#ifndef CHERIVOKE_SIM_EXPERIMENT_HH
+#define CHERIVOKE_SIM_EXPERIMENT_HH
+
+#include <string>
+
+#include "sim/machine.hh"
+#include "workload/driver.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth.hh"
+
+namespace cherivoke {
+namespace sim {
+
+/** Experiment knobs. */
+struct ExperimentConfig
+{
+    double quarantineFraction = 0.25; //!< the paper's default
+    revoke::SweepKernel kernel = revoke::SweepKernel::Vector;
+    bool usePteCapDirty = true; //!< modelled in the x86 runs (§5.3)
+    bool useCloadTags = false;  //!< not modelled on x86 (§5.3)
+    unsigned threads = 1;
+    double scale = 1.0 / 64;
+    double durationSec = 1.5;
+    uint64_t seed = 42;
+    bool modelTraffic = false; //!< attach the cache hierarchy
+    /** Non-heap segments, scaled so the heap dominates the process
+     *  image as it does at reference scale. */
+    uint64_t globalsBytes = 512 * KiB;
+    uint64_t stackBytes = 512 * KiB;
+};
+
+/** Everything one benchmark run produces. */
+struct BenchResult
+{
+    std::string name;
+    workload::DriverResult run;
+
+    /** @name Figure 6 components (fractions of baseline runtime) */
+    /// @{
+    double quarantinePenalty = 0; //!< cache effect (can be ~0)
+    double batchingGain = 0;      //!< free batching speedup
+    double shadowOverhead = 0;
+    double sweepOverhead = 0;
+    /// @}
+
+    /** Figure 5a: 1 + net overhead. */
+    double normalizedTime = 1;
+    /** Figure 5b: heap-relative memory utilisation. */
+    double normalizedMemory = 1;
+    /** §6.1.3 equation evaluated on measured quantities. */
+    double predictedSweepOverhead = 0;
+    /** Figure 7: achieved sweep bandwidth (bytes/s, real scale). */
+    double achievedScanRate = 0;
+    /** Figure 10: sweep off-core traffic / app traffic (percent). */
+    double trafficOverheadPct = 0;
+};
+
+/** Run one benchmark profile under one configuration. */
+BenchResult runBenchmark(const workload::BenchmarkProfile &profile,
+                         const ExperimentConfig &config,
+                         const MachineProfile &machine =
+                             MachineProfile::x86());
+
+/** DRAM bytes a sweep moves (shared approximation). */
+uint64_t approxSweepDramBytes(const revoke::SweepStats &stats);
+
+} // namespace sim
+} // namespace cherivoke
+
+#endif // CHERIVOKE_SIM_EXPERIMENT_HH

@@ -1,0 +1,50 @@
+#include "stats/counters.hh"
+
+#include <sstream>
+
+namespace cherivoke {
+namespace stats {
+
+Counter &
+CounterGroup::counter(const std::string &name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        order_.push_back(name);
+        it = counters_.emplace(name, Counter{}).first;
+    }
+    return it->second;
+}
+
+uint64_t
+CounterGroup::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+bool
+CounterGroup::has(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+void
+CounterGroup::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+}
+
+std::string
+CounterGroup::report() const
+{
+    std::ostringstream os;
+    for (const auto &name : order_) {
+        os << name << " " << counters_.at(name).value() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace stats
+} // namespace cherivoke

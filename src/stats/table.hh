@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text aligned tables for the benchmark harness, so every bench
+ * binary prints the same rows/series the paper reports in a stable,
+ * diffable format.
+ */
+
+#ifndef CHERIVOKE_STATS_TABLE_HH
+#define CHERIVOKE_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace cherivoke {
+namespace stats {
+
+/** A simple left/right-aligned text table builder. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double value, int precision = 2);
+
+    /** Convenience: format a percentage ("4.7%"). */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render with a header underline and 2-space column gaps. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace stats
+} // namespace cherivoke
+
+#endif // CHERIVOKE_STATS_TABLE_HH

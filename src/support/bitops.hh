@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bit-manipulation utilities shared across the capability codec, the
+ * shadow map, and the tag table.
+ */
+
+#ifndef CHERIVOKE_SUPPORT_BITOPS_HH
+#define CHERIVOKE_SUPPORT_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace cherivoke {
+
+/** Return a value with the low @p n bits set (n may be 0..64). */
+constexpr uint64_t
+maskLow(unsigned n)
+{
+    return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [lo, lo+width) of @p value. */
+constexpr uint64_t
+bitsExtract(uint64_t value, unsigned lo, unsigned width)
+{
+    return (value >> lo) & maskLow(width);
+}
+
+/** Insert @p field into bits [lo, lo+width) of @p value. */
+constexpr uint64_t
+bitsInsert(uint64_t value, unsigned lo, unsigned width, uint64_t field)
+{
+    const uint64_t m = maskLow(width) << lo;
+    return (value & ~m) | ((field << lo) & m);
+}
+
+/** True if @p value is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Round @p value up to the next multiple of @p align (a power of 2). */
+constexpr uint64_t
+alignUp(uint64_t value, uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of @p align (a power of 2). */
+constexpr uint64_t
+alignDown(uint64_t value, uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+/** True if @p value is a multiple of @p align (a power of 2). */
+constexpr bool
+isAligned(uint64_t value, uint64_t align)
+{
+    return (value & (align - 1)) == 0;
+}
+
+/** Index of the most significant set bit, or -1 for zero. */
+constexpr int
+msbIndex(uint64_t value)
+{
+    return value == 0 ? -1 : 63 - std::countl_zero(value);
+}
+
+/** Ceiling of log2; log2Ceil(1) == 0. */
+constexpr unsigned
+log2Ceil(uint64_t value)
+{
+    if (value <= 1)
+        return 0;
+    return static_cast<unsigned>(msbIndex(value - 1)) + 1;
+}
+
+/** Floor of log2; log2Floor(1) == 0. Undefined for 0. */
+constexpr unsigned
+log2Floor(uint64_t value)
+{
+    return static_cast<unsigned>(msbIndex(value));
+}
+
+/** Population count convenience wrapper. */
+constexpr unsigned
+popCount(uint64_t value)
+{
+    return static_cast<unsigned>(std::popcount(value));
+}
+
+} // namespace cherivoke
+
+#endif // CHERIVOKE_SUPPORT_BITOPS_HH

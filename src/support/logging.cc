@@ -1,0 +1,43 @@
+#include "support/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace cherivoke {
+namespace detail {
+
+std::string
+formatMessage(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+bool &
+verboseFlag()
+{
+    static bool verbose = true;
+    return verbose;
+}
+
+} // namespace detail
+
+void
+setVerbose(bool enabled)
+{
+    detail::verboseFlag() = enabled;
+}
+
+} // namespace cherivoke

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for unrecoverable
+ * user/configuration errors, warn()/inform() are non-fatal status
+ * channels. panic() and fatal() throw typed exceptions rather than
+ * aborting so that tests can assert on them.
+ */
+
+#ifndef CHERIVOKE_SUPPORT_LOGGING_HH
+#define CHERIVOKE_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cherivoke {
+
+/** Thrown by panic(): an internal invariant of the library broke. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+/** Thrown by fatal(): the caller asked for something unsatisfiable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail {
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Global verbosity switch for warn()/inform() (on by default). */
+bool &verboseFlag();
+
+} // namespace detail
+
+/** Enable or disable warn()/inform() output (e.g.\ in tests). */
+void setVerbose(bool enabled);
+
+/** Report an internal bug and throw PanicError. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        throw PanicError(std::string("panic: ") + fmt);
+    } else {
+        throw PanicError(
+            "panic: " +
+            detail::formatMessage(fmt, std::forward<Args>(args)...));
+    }
+}
+
+/** Report an unrecoverable user error and throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        throw FatalError(std::string("fatal: ") + fmt);
+    } else {
+        throw FatalError(
+            "fatal: " +
+            detail::formatMessage(fmt, std::forward<Args>(args)...));
+    }
+}
+
+/** Print a non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    if (!detail::verboseFlag())
+        return;
+    if constexpr (sizeof...(Args) == 0) {
+        std::fprintf(stderr, "warn: %s\n", fmt);
+    } else {
+        std::fprintf(stderr, "warn: %s\n",
+            detail::formatMessage(fmt, std::forward<Args>(args)...)
+                .c_str());
+    }
+}
+
+/** Print an informational status message to stderr. */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    if (!detail::verboseFlag())
+        return;
+    if constexpr (sizeof...(Args) == 0) {
+        std::fprintf(stderr, "info: %s\n", fmt);
+    } else {
+        std::fprintf(stderr, "info: %s\n",
+            detail::formatMessage(fmt, std::forward<Args>(args)...)
+                .c_str());
+    }
+}
+
+/**
+ * Internal-invariant check that survives release builds.
+ * Unlike assert(), sim_assert throws PanicError so property tests can
+ * exercise failure paths.
+ */
+#define CHERIVOKE_ASSERT(cond, ...)                                       \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::cherivoke::panic("assertion '" #cond "' failed "            \
+                               __VA_ARGS__);                              \
+    } while (0)
+
+} // namespace cherivoke
+
+#endif // CHERIVOKE_SUPPORT_LOGGING_HH

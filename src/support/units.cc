@@ -1,0 +1,36 @@
+#include "support/units.hh"
+
+#include <cstdio>
+
+namespace cherivoke {
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    char buf[64];
+    if (bytes >= GiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                      static_cast<double>(bytes) / GiB);
+    } else if (bytes >= MiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                      static_cast<double>(bytes) / MiB);
+    } else if (bytes >= KiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                      static_cast<double>(bytes) / KiB);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string
+formatRate(double bytes_per_sec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f MiB/s",
+                  bytes_per_sec / static_cast<double>(MiB));
+    return buf;
+}
+
+} // namespace cherivoke

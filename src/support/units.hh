@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Size and rate units used throughout the simulator and benches.
+ */
+
+#ifndef CHERIVOKE_SUPPORT_UNITS_HH
+#define CHERIVOKE_SUPPORT_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cherivoke {
+
+constexpr uint64_t KiB = 1024;
+constexpr uint64_t MiB = 1024 * KiB;
+constexpr uint64_t GiB = 1024 * MiB;
+
+/** Capability / shadow-map / tag granule: 16 bytes (paper §3.2). */
+constexpr uint64_t kGranuleBytes = 16;
+constexpr unsigned kGranuleShift = 4;
+
+/** Capability word size in bytes (CHERI-128). */
+constexpr uint64_t kCapBytes = 16;
+
+/** Simulated page size. */
+constexpr uint64_t kPageBytes = 4096;
+constexpr unsigned kPageShift = 12;
+
+/** Granules per page (4096 / 16). */
+constexpr uint64_t kGranulesPerPage = kPageBytes / kGranuleBytes;
+
+/** Default cache-line size in bytes. */
+constexpr uint64_t kLineBytes = 64;
+constexpr unsigned kLineShift = 6;
+
+/** Capability words per cache line (64 / 16). */
+constexpr uint64_t kCapsPerLine = kLineBytes / kCapBytes;
+
+/** Format a byte count as a human-readable string ("12.5 MiB"). */
+std::string formatBytes(uint64_t bytes);
+
+/** Format a rate in MiB/s. */
+std::string formatRate(double bytes_per_sec);
+
+} // namespace cherivoke
+
+#endif // CHERIVOKE_SUPPORT_UNITS_HH

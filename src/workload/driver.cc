@@ -1,0 +1,171 @@
+#include "workload/driver.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace workload {
+
+DensitySample
+measureDensities(const mem::AddressSpace &space)
+{
+    DensitySample sample;
+    const auto &memory = space.memory();
+    uint64_t pages = 0, pages_with = 0;
+    uint64_t lines = 0, lines_with = 0;
+    for (const mem::Segment &seg : space.heapSegments()) {
+        for (uint64_t p = seg.base; p < seg.end(); p += kPageBytes) {
+            const mem::Page *page = memory.pageIfPresent(p);
+            if (!page)
+                continue; // never-touched page: not resident
+            ++pages;
+            lines += kPageBytes / kLineBytes;
+            if (page->tagCount == 0)
+                continue;
+            ++pages_with;
+            for (uint64_t line = p; line < p + kPageBytes;
+                 line += kLineBytes) {
+                const unsigned g0 = static_cast<unsigned>(
+                    (line & (kPageBytes - 1)) >> kGranuleShift);
+                bool any = false;
+                for (unsigned i = 0; i < kCapsPerLine; ++i)
+                    any |= page->granuleTag(g0 + i);
+                lines_with += any ? 1 : 0;
+            }
+        }
+    }
+    if (pages > 0) {
+        sample.pageDensity =
+            static_cast<double>(pages_with) / pages;
+        sample.lineDensity =
+            static_cast<double>(lines_with) / lines;
+    }
+    return sample;
+}
+
+DriverResult
+TraceDriver::run(const Trace &trace, cache::Hierarchy *hierarchy)
+{
+    DriverResult result;
+    auto &memory = space_->memory();
+    std::map<uint64_t, cap::Capability> objects; // trace id -> cap
+    double page_density_acc = 0, line_density_acc = 0;
+
+    auto track_peaks = [&]() {
+        result.peakLiveBytes =
+            std::max(result.peakLiveBytes, alloc_->liveBytes());
+        result.peakQuarantineBytes = std::max(
+            result.peakQuarantineBytes, alloc_->quarantinedBytes());
+        result.peakFootprintBytes = std::max(
+            result.peakFootprintBytes, alloc_->footprintBytes());
+    };
+
+    for (const TraceOp &op : trace.ops) {
+        result.virtualSeconds += op.dt;
+        switch (op.kind) {
+          case OpKind::Malloc: {
+            const cap::Capability c = alloc_->malloc(op.size);
+            // Programs initialise allocations before use; the data
+            // writes clear any stale tags left by a previous
+            // occupant of recycled memory.
+            memory.fill(c.base(), 0, alloc_->usableSize(c.base()));
+            objects.emplace(op.id, c);
+            ++result.allocCalls;
+            break;
+          }
+          case OpKind::Free: {
+            auto it = objects.find(op.id);
+            if (it == objects.end())
+                break;
+            result.freedBytes +=
+                alloc_->usableSize(it->second.base());
+            alloc_->free(it->second);
+            objects.erase(it);
+            ++result.freeCalls;
+            // Sweep when the quarantine budget fills. Sample
+            // densities at sweep points, as the paper samples its
+            // core dumps (§5.3).
+            if (revoker_ && alloc_->needsSweep()) {
+                const DensitySample d = measureDensities(*space_);
+                page_density_acc += d.pageDensity;
+                line_density_acc += d.lineDensity;
+                ++result.densitySamples;
+                revoker_->maybeRevoke(hierarchy);
+            }
+            break;
+          }
+          case OpKind::StorePtr: {
+            auto dst = objects.find(op.dst);
+            auto src = objects.find(op.src);
+            if (dst == objects.end() || src == objects.end())
+                break;
+            const uint64_t usable =
+                alloc_->usableSize(dst->second.base());
+            if (usable < kCapBytes)
+                break;
+            const uint64_t offset =
+                std::min<uint64_t>(op.offset, usable - kCapBytes) &
+                ~(kCapBytes - 1);
+            memory.writeCap(dst->second.base() + offset,
+                            src->second);
+            ++result.ptrStores;
+            break;
+          }
+          case OpKind::StoreData: {
+            auto dst = objects.find(op.dst);
+            if (dst == objects.end())
+                break;
+            const uint64_t usable =
+                alloc_->usableSize(dst->second.base());
+            if (usable < 8)
+                break;
+            const uint64_t offset =
+                std::min<uint64_t>(op.offset, usable - 8) & ~7ULL;
+            memory.storeU64(dst->second, dst->second.base() + offset,
+                            0x5a5a5a5a5a5a5a5aULL);
+            break;
+          }
+          case OpKind::RootPtr: {
+            auto src = objects.find(op.src);
+            if (src == objects.end())
+                break;
+            const uint64_t slots =
+                space_->globals().size / kCapBytes;
+            const uint64_t slot = op.offset % slots;
+            memory.writeCap(space_->globals().base + slot * kCapBytes,
+                            src->second);
+            break;
+          }
+        }
+        track_peaks();
+    }
+
+    if (result.densitySamples > 0) {
+        result.pageDensity =
+            page_density_acc / result.densitySamples;
+        result.lineDensity =
+            line_density_acc / result.densitySamples;
+    } else {
+        const DensitySample d = measureDensities(*space_);
+        result.pageDensity = d.pageDensity;
+        result.lineDensity = d.lineDensity;
+        result.densitySamples = 1;
+    }
+
+    if (result.virtualSeconds > 0) {
+        result.measuredFreeRateMiBps =
+            static_cast<double>(result.freedBytes) / MiB /
+            result.virtualSeconds;
+        result.measuredFreesPerSec =
+            static_cast<double>(result.freeCalls) /
+            result.virtualSeconds;
+    }
+    if (revoker_)
+        result.revoker = revoker_->totals();
+    return result;
+}
+
+} // namespace workload
+} // namespace cherivoke

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The trace driver: replays a workload trace against the CHERIvoke
+ * allocator inside the simulated machine, running revocation epochs
+ * as the quarantine fills, and measuring the quantities the paper's
+ * tables and figures report (free rates, pointer densities at page
+ * and line granularity, sweep statistics, peak memory).
+ */
+
+#ifndef CHERIVOKE_WORKLOAD_DRIVER_HH
+#define CHERIVOKE_WORKLOAD_DRIVER_HH
+
+#include <cstdint>
+
+#include "alloc/cherivoke_alloc.hh"
+#include "cache/hierarchy.hh"
+#include "revoke/revoker.hh"
+#include "workload/trace.hh"
+
+namespace cherivoke {
+namespace workload {
+
+/** Densities of capability-bearing memory in the heap. */
+struct DensitySample
+{
+    double pageDensity = 0; //!< fraction of heap pages with >=1 tag
+    double lineDensity = 0; //!< fraction of heap lines with >=1 tag
+};
+
+/** Measure current heap pointer densities (table 2 / figure 8a). */
+DensitySample measureDensities(const mem::AddressSpace &space);
+
+/** Aggregate results of one trace replay. */
+struct DriverResult
+{
+    double virtualSeconds = 0;
+    uint64_t allocCalls = 0;
+    uint64_t freeCalls = 0;
+    uint64_t freedBytes = 0;
+    uint64_t ptrStores = 0;
+
+    uint64_t peakLiveBytes = 0;
+    uint64_t peakQuarantineBytes = 0;
+    uint64_t peakFootprintBytes = 0;
+
+    /** Rates over virtual time (table 2 columns, at trace scale). */
+    double measuredFreeRateMiBps = 0;
+    double measuredFreesPerSec = 0;
+
+    /** Densities averaged over sweep-time samples (like the paper's
+     *  core dumps, §5.3); falls back to an end-of-run sample. */
+    double pageDensity = 0;
+    double lineDensity = 0;
+    uint64_t densitySamples = 0;
+
+    revoke::RevokerTotals revoker;
+};
+
+/** Replays traces against an allocator + revoker. */
+class TraceDriver
+{
+  public:
+    /**
+     * @param revoker nullable: without it, frees quarantine but no
+     *        sweeps run (the fig. 6 "quarantine only" configuration)
+     */
+    TraceDriver(mem::AddressSpace &space,
+                alloc::CherivokeAllocator &allocator,
+                revoke::Revoker *revoker)
+        : space_(&space), alloc_(&allocator), revoker_(revoker)
+    {}
+
+    /** Replay @p trace; optionally model traffic via @p hierarchy. */
+    DriverResult run(const Trace &trace,
+                     cache::Hierarchy *hierarchy = nullptr);
+
+  private:
+    mem::AddressSpace *space_;
+    alloc::CherivokeAllocator *alloc_;
+    revoke::Revoker *revoker_;
+};
+
+} // namespace workload
+} // namespace cherivoke
+
+#endif // CHERIVOKE_WORKLOAD_DRIVER_HH

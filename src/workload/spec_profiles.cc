@@ -1,0 +1,81 @@
+#include "workload/spec_profiles.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/units.hh"
+
+namespace cherivoke {
+namespace workload {
+
+double
+BenchmarkProfile::meanAllocBytes() const
+{
+    if (freesPerSec >= 500) {
+        // Table 2 gives both rates: mean = bytes/s / frees/s.
+        return freeRateMiBps * static_cast<double>(MiB) / freesPerSec;
+    }
+    if (freeRateMiBps >= 1.0) {
+        // "~0" frees/s with real byte throughput: large buffers.
+        return 1.0 * MiB;
+    }
+    return 4096; // barely allocates; size is irrelevant
+}
+
+const std::vector<BenchmarkProfile> &
+specProfiles()
+{
+    // Columns 2-4 are table 2 verbatim ("~0" encoded as a small
+    // nonzero rate where the byte rate implies occasional frees).
+    // liveHeapMiB/baselineRuntimeSec/appDramMiBps are approximate
+    // SPEC CPU2006 reference characteristics (documented estimates);
+    // linePointerDensity follows §3.4's "fewer than a quarter of
+    // cache lines holding pointers in many applications" with
+    // per-benchmark values consistent with figure 8a's CLoadTags
+    // reductions; temporalFragmentation reproduces §6.1.1.
+    static const std::vector<BenchmarkProfile> profiles = {
+        //  name        pages  MiB/s  frees/s   heap   run   dram   line   frag
+        {"ffmpeg",      0.04, 1268.0, 44000.0,  300.0, 300.0, 6000.0, 0.02, 0.05},
+        {"astar",       0.62,   24.0, 27000.0,  325.0, 500.0, 2500.0, 0.25, 0.10},
+        {"bzip2",       0.00,    0.0,     0.0,  850.0, 550.0, 3500.0, 0.00, 0.00},
+        {"dealII",      0.70,   40.0, 498000.0, 800.0, 470.0, 3000.0, 0.35, 0.15},
+        {"gobmk",       0.54,    1.0,  1000.0,   28.0, 520.0, 1200.0, 0.20, 0.05},
+        {"h264ref",     0.09,    3.0,  1000.0,   65.0, 640.0, 2200.0, 0.04, 0.02},
+        {"hmmer",       0.04,   17.0, 12000.0,   60.0, 480.0, 1500.0, 0.02, 0.02},
+        {"lbm",         0.00,    5.0,     2.0,  410.0, 430.0, 7000.0, 0.00, 0.00},
+        {"libquantum",  0.01,    5.0,     2.0,  100.0, 450.0, 5000.0, 0.01, 0.00},
+        {"mcf",         0.46,   53.0,    10.0, 1700.0, 400.0, 6500.0, 0.25, 0.05},
+        {"milc",        0.03,  224.0,    20.0,  680.0, 470.0, 5500.0, 0.02, 0.02},
+        {"omnetpp",     0.95,  175.0, 1027000.0, 170.0, 420.0, 6000.0, 0.55, 0.30},
+        {"povray",      0.19,    1.0, 17000.0,    7.0, 300.0,  800.0, 0.08, 0.05},
+        {"sjeng",       0.24,    0.1,    10.0,  180.0, 600.0, 1800.0, 0.10, 0.00},
+        {"soplex",      0.23,  287.0,  2000.0,  440.0, 350.0, 5000.0, 0.12, 0.05},
+        {"sphinx3",     0.18,   33.0, 30000.0,   45.0, 600.0, 2800.0, 0.08, 0.05},
+        {"xalancbmk",   0.86,  371.0, 811000.0,  430.0, 280.0, 9000.0, 0.45, 0.60},
+    };
+    return profiles;
+}
+
+const BenchmarkProfile &
+profileFor(const std::string &name)
+{
+    for (const auto &p : specProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("no workload profile named '%s'", name.c_str());
+}
+
+std::vector<BenchmarkProfile>
+figure5Profiles()
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &p : specProfiles()) {
+        if (p.name != "ffmpeg")
+            out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace workload
+} // namespace cherivoke

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-benchmark workload profiles calibrated to the paper's own
+ * measurements.
+ *
+ * The first three numeric columns are table 2 verbatim (pages with
+ * pointers, free rate, frees/s). The remaining fields are inputs the
+ * paper does not tabulate but the experiments need: steady-state
+ * heap size and baseline runtime (approximate SPEC CPU2006 reference
+ * characteristics), baseline DRAM bandwidth (figure 10's
+ * denominator), cache-line pointer density (figure 8a's CLoadTags
+ * series), and a temporal-fragmentation knob (the §6.1.1 xalancbmk
+ * quarantine cache effect). These are documented estimates, not
+ * paper data — see DESIGN.md §2.
+ */
+
+#ifndef CHERIVOKE_WORKLOAD_SPEC_PROFILES_HH
+#define CHERIVOKE_WORKLOAD_SPEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+namespace cherivoke {
+namespace workload {
+
+/** One benchmark's workload characteristics. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** @name Table 2 (paper data) */
+    /// @{
+    double pagesWithPointers = 0; //!< fraction of pages holding caps
+    double freeRateMiBps = 0;     //!< MiB/s returned by free()
+    double freesPerSec = 0;       //!< calls to free per second
+    /// @}
+
+    /** @name Estimated characteristics (documented inputs) */
+    /// @{
+    double liveHeapMiB = 64;        //!< steady-state live heap
+    double baselineRuntimeSec = 500; //!< reference-input runtime
+    double appDramMiBps = 2000;     //!< baseline off-core traffic
+    double linePointerDensity = 0;  //!< fraction of lines with caps
+    double temporalFragmentation = 0; //!< 0..1, §6.1.1 cache effect
+    /// @}
+
+    /** Mean allocation size implied by table 2 (bytes). */
+    double meanAllocBytes() const;
+
+    /** True if the benchmark ever frees enough to sweep. */
+    bool allocationIntensive() const
+    {
+        return freeRateMiBps >= 1.0;
+    }
+};
+
+/** All 17 profiles (16 SPEC + ffmpeg), table 2 order. */
+const std::vector<BenchmarkProfile> &specProfiles();
+
+/** Profile lookup by name; throws FatalError if unknown. */
+const BenchmarkProfile &profileFor(const std::string &name);
+
+/** The subset with a figure 5 published row (SPEC only, no ffmpeg). */
+std::vector<BenchmarkProfile> figure5Profiles();
+
+} // namespace workload
+} // namespace cherivoke
+
+#endif // CHERIVOKE_WORKLOAD_SPEC_PROFILES_HH

@@ -1,0 +1,191 @@
+#include "workload/synth.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/units.hh"
+
+namespace cherivoke {
+namespace workload {
+
+namespace {
+
+/** Live-object bookkeeping during synthesis. */
+struct LiveObject
+{
+    uint64_t id;
+    uint64_t size;
+};
+
+} // namespace
+
+Trace
+synthesize(const BenchmarkProfile &profile, const SynthConfig &config)
+{
+    Trace trace;
+    Rng rng(config.seed);
+
+    const double s = config.scale;
+    const uint64_t live_target = std::max<uint64_t>(
+        static_cast<uint64_t>(profile.liveHeapMiB * MiB * s),
+        config.minLiveBytes);
+    const double free_bytes_per_sec =
+        profile.freeRateMiBps * static_cast<double>(MiB) * s;
+    // Scale large-object sizes down when the scaled byte rate would
+    // otherwise produce too few events to exercise the machinery
+    // (the measured MiB/s target is preserved either way).
+    double mean_alloc = profile.meanAllocBytes();
+    if (free_bytes_per_sec > 0) {
+        const double max_mean =
+            free_bytes_per_sec * config.durationSec / 30.0;
+        mean_alloc = std::clamp(mean_alloc, 64.0,
+                                std::max(1024.0, max_mean));
+    }
+    const double alloc_events_per_sec =
+        free_bytes_per_sec / mean_alloc;
+
+    // Pointer placement is *bursty*: programs cluster pointer-dense
+    // structures (vtables, node pools) onto the same pages, so page
+    // density tracks the byte fraction of pointer-bearing phases
+    // rather than a per-object coin flip. Phases span several pages
+    // of consecutive allocations.
+    const double ptr_phase_fraction = profile.pagesWithPointers;
+    const double line_density_within =
+        ptr_phase_fraction > 0.01
+            ? std::min(1.0, profile.linePointerDensity /
+                                ptr_phase_fraction)
+            : 0.0;
+    bool ptr_phase = false;
+    int64_t phase_bytes_left = 0;
+
+    const uint64_t size_lo = std::max<uint64_t>(
+        16, static_cast<uint64_t>(mean_alloc / 4));
+    const uint64_t size_hi = std::max<uint64_t>(
+        size_lo + 16, static_cast<uint64_t>(mean_alloc * 2.5));
+
+    uint64_t next_id = 1;
+    uint64_t live_bytes = 0;
+    std::deque<LiveObject> live; // front = oldest
+
+    auto emit_alloc = [&](double dt) {
+        const uint64_t size = rng.nextLogUniform(size_lo, size_hi);
+        const uint64_t id = next_id++;
+        TraceOp op;
+        op.kind = OpKind::Malloc;
+        op.id = id;
+        op.size = size;
+        op.dt = dt;
+        trace.ops.push_back(op);
+        live.push_back(LiveObject{id, size});
+        live_bytes += size;
+
+        // Phase bookkeeping: switch phases every few pages' worth
+        // of allocation, landing in a pointer phase with the target
+        // probability.
+        phase_bytes_left -= static_cast<int64_t>(size);
+        if (phase_bytes_left <= 0) {
+            ptr_phase = rng.nextBool(ptr_phase_fraction);
+            phase_bytes_left = static_cast<int64_t>(
+                rng.nextRange(4, 16) * kPageBytes);
+        }
+
+        // Populate the object with pointers to live objects.
+        if (ptr_phase && !live.empty()) {
+            const uint64_t lines = std::max<uint64_t>(1, size / 64);
+            const uint64_t stores = std::max<uint64_t>(
+                1, static_cast<uint64_t>(
+                       static_cast<double>(lines) *
+                       line_density_within));
+            for (uint64_t k = 0; k < stores; ++k) {
+                const LiveObject &src =
+                    live[rng.nextBounded(live.size())];
+                TraceOp st;
+                st.kind = OpKind::StorePtr;
+                st.src = src.id;
+                st.dst = id;
+                st.offset =
+                    size >= 32
+                        ? (rng.nextBounded((size - 16) / 16)) * 16
+                        : 0;
+                trace.ops.push_back(st);
+            }
+        }
+        // Occasionally root the object in globals (stack/global
+        // pointers the sweep must also visit).
+        if (rng.nextBool(0.05)) {
+            TraceOp rt;
+            rt.kind = OpKind::RootPtr;
+            rt.src = id;
+            rt.offset = rng.nextBounded(4096);
+            trace.ops.push_back(rt);
+        }
+    };
+
+    auto emit_free_one = [&]() {
+        if (live.empty())
+            return;
+        size_t idx = 0;
+        if (!rng.nextBool(profile.temporalFragmentation)) {
+            idx = 0; // FIFO: oldest first
+        } else {
+            // Temporal fragmentation: free a random-aged object,
+            // interleaving lifetimes on the heap (§6.1.1).
+            idx = rng.nextBounded(live.size());
+        }
+        const LiveObject obj = live[idx];
+        live.erase(live.begin() + static_cast<long>(idx));
+        live_bytes -= obj.size;
+        TraceOp op;
+        op.kind = OpKind::Free;
+        op.id = obj.id;
+        trace.ops.push_back(op);
+    };
+
+    // Ramp: fill the live set (no virtual time elapses; SPEC-style
+    // programs build their working set during init).
+    while (live_bytes < live_target)
+        emit_alloc(0.0);
+
+    // Steady state.
+    if (alloc_events_per_sec > 1.0) {
+        const double dt = 1.0 / alloc_events_per_sec;
+        const uint64_t steps = static_cast<uint64_t>(
+            config.durationSec * alloc_events_per_sec);
+        for (uint64_t i = 0; i < steps; ++i) {
+            emit_alloc(dt);
+            while (live_bytes > live_target)
+                emit_free_one();
+            // Sprinkle plain data writes (tag-killing overwrites).
+            if (rng.nextBool(0.1) && !live.empty()) {
+                const LiveObject &dst =
+                    live[rng.nextBounded(live.size())];
+                TraceOp st;
+                st.kind = OpKind::StoreData;
+                st.dst = dst.id;
+                st.offset =
+                    dst.size >= 16
+                        ? (rng.nextBounded(dst.size / 8)) * 8
+                        : 0;
+                trace.ops.push_back(st);
+            }
+        }
+    } else {
+        // Allocation-quiet benchmark (bzip2, sjeng, lbm...): virtual
+        // time passes with data writes only.
+        const int ticks = 100;
+        for (int i = 0; i < ticks; ++i) {
+            TraceOp st;
+            st.kind = OpKind::StoreData;
+            st.dst = live.empty() ? 0 : live.front().id;
+            st.offset = 0;
+            st.dt = config.durationSec / ticks;
+            trace.ops.push_back(st);
+        }
+    }
+    return trace;
+}
+
+} // namespace workload
+} // namespace cherivoke

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Synthetic workload generation calibrated to table 2.
+ *
+ * The paper shows (§6.1.3) that CHERIvoke's cost is a function of
+ * free rate, pointer density, and quarantine fraction — exactly the
+ * quantities table 2 tabulates per benchmark. The synthesiser
+ * produces a trace whose measured free rate (MiB/s), free call rate,
+ * and page/line pointer densities converge to a profile's targets, at
+ * a configurable scale (heap and rates scaled together, which leaves
+ * overhead fractions invariant — see sim/experiment.hh).
+ */
+
+#ifndef CHERIVOKE_WORKLOAD_SYNTH_HH
+#define CHERIVOKE_WORKLOAD_SYNTH_HH
+
+#include "workload/spec_profiles.hh"
+#include "workload/trace.hh"
+
+namespace cherivoke {
+namespace workload {
+
+/** Synthesis parameters. */
+struct SynthConfig
+{
+    /** Heap-and-rate scale factor (1/64 of reference by default). */
+    double scale = 1.0 / 64;
+    /** Virtual seconds of steady-state execution to generate. */
+    double durationSec = 1.5;
+    uint64_t seed = 1;
+    /** Floor for the scaled live-heap target. */
+    uint64_t minLiveBytes = 512 * 1024;
+};
+
+/** Generate a trace matching @p profile at the configured scale. */
+Trace synthesize(const BenchmarkProfile &profile,
+                 const SynthConfig &config = SynthConfig{});
+
+} // namespace workload
+} // namespace cherivoke
+
+#endif // CHERIVOKE_WORKLOAD_SYNTH_HH

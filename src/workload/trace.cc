@@ -1,0 +1,88 @@
+#include "workload/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace workload {
+
+namespace {
+
+const char *
+opName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Malloc: return "malloc";
+      case OpKind::Free: return "free";
+      case OpKind::StorePtr: return "storeptr";
+      case OpKind::StoreData: return "storedata";
+      case OpKind::RootPtr: return "rootptr";
+    }
+    return "?";
+}
+
+OpKind
+opFromName(const std::string &name)
+{
+    if (name == "malloc")
+        return OpKind::Malloc;
+    if (name == "free")
+        return OpKind::Free;
+    if (name == "storeptr")
+        return OpKind::StorePtr;
+    if (name == "storedata")
+        return OpKind::StoreData;
+    if (name == "rootptr")
+        return OpKind::RootPtr;
+    fatal("unknown trace op '%s'", name.c_str());
+}
+
+} // namespace
+
+double
+Trace::virtualSeconds() const
+{
+    double t = 0;
+    for (const auto &op : ops)
+        t += op.dt;
+    return t;
+}
+
+void
+Trace::save(std::ostream &os) const
+{
+    os << "# cherivoke-trace v1\n";
+    for (const auto &op : ops) {
+        os << opName(op.kind) << ' ' << op.id << ' ' << op.size << ' '
+           << op.src << ' ' << op.dst << ' ' << op.offset << ' '
+           << op.dt << '\n';
+    }
+}
+
+Trace
+Trace::load(std::istream &is)
+{
+    Trace trace;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string name;
+        TraceOp op;
+        ls >> name >> op.id >> op.size >> op.src >> op.dst >>
+            op.offset >> op.dt;
+        if (ls.fail())
+            fatal("malformed trace line: %s", line.c_str());
+        op.kind = opFromName(name);
+        trace.ops.push_back(op);
+    }
+    return trace;
+}
+
+} // namespace workload
+} // namespace cherivoke

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Allocation traces: the workload representation the synthesiser
+ * emits and the driver replays. Traces are allocator-independent —
+ * allocations are named by id, not address — so the same trace can
+ * drive CHERIvoke, plain dlmalloc, or a baseline technique.
+ */
+
+#ifndef CHERIVOKE_WORKLOAD_TRACE_HH
+#define CHERIVOKE_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace cherivoke {
+namespace workload {
+
+/** Trace operation kinds. */
+enum class OpKind : uint8_t
+{
+    Malloc,    //!< allocate `size` bytes as allocation `id`
+    Free,      //!< free allocation `id`
+    StorePtr,  //!< store a capability to `src` at `dst`+`offset`
+    StoreData, //!< store plain data at `dst`+`offset` (kills a tag)
+    RootPtr,   //!< store a capability to `src` in global root slot
+               //!< `offset` (models pointers in globals/stack)
+};
+
+/** One trace operation. */
+struct TraceOp
+{
+    OpKind kind = OpKind::Malloc;
+    uint64_t id = 0;     //!< Malloc/Free: allocation id
+    uint64_t size = 0;   //!< Malloc: requested bytes
+    uint64_t src = 0;    //!< StorePtr/RootPtr: source allocation id
+    uint64_t dst = 0;    //!< StorePtr/StoreData: dest allocation id
+    uint64_t offset = 0; //!< byte offset within dest / root slot no.
+    double dt = 0;       //!< virtual seconds since the previous op
+};
+
+/** A full trace plus its metadata. */
+struct Trace
+{
+    std::vector<TraceOp> ops;
+
+    /** Sum of all dt fields: the virtual duration. */
+    double virtualSeconds() const;
+
+    /** Plain-text serialisation (one op per line). */
+    void save(std::ostream &os) const;
+    static Trace load(std::istream &is);
+};
+
+} // namespace workload
+} // namespace cherivoke
+
+#endif // CHERIVOKE_WORKLOAD_TRACE_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the simulated process address space: segment layout,
+ * heap mmap growth, the fixed-transform shadow mapping, and the
+ * sweepable-segment enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr_space.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace mem {
+namespace {
+
+TEST(AddrSpace, LayoutMapsGlobalsAndStack)
+{
+    AddressSpace as(1 * MiB, 2 * MiB);
+    EXPECT_TRUE(as.memory().pageTable().isMapped(kGlobalsBase));
+    EXPECT_TRUE(as.memory().pageTable().isMapped(kStackBase));
+    EXPECT_EQ(as.globals().size, 1 * MiB);
+    EXPECT_EQ(as.stack().size, 2 * MiB);
+}
+
+TEST(AddrSpace, ShadowTransformArithmetic)
+{
+    EXPECT_EQ(shadowAddrOf(0), kShadowBase);
+    EXPECT_EQ(shadowAddrOf(128), kShadowBase + 1);
+    EXPECT_EQ(shadowAddrOf(kHeapBase) - kShadowBase, kHeapBase >> 7);
+}
+
+TEST(AddrSpace, MmapHeapReturnsPageAlignedGrowingRegions)
+{
+    AddressSpace as;
+    const uint64_t a = as.mmapHeap(10 * kPageBytes);
+    const uint64_t b = as.mmapHeap(1);
+    EXPECT_EQ(a, kHeapBase);
+    EXPECT_TRUE(isAligned(b, kPageBytes));
+    EXPECT_GE(b, a + 10 * kPageBytes);
+    EXPECT_EQ(as.heapSegments().size(), 2u);
+    EXPECT_EQ(as.heapMappedBytes(), 11 * kPageBytes);
+}
+
+TEST(AddrSpace, MmapMapsShadowPagesToo)
+{
+    AddressSpace as;
+    const uint64_t base = as.mmapHeap(1 * MiB);
+    const uint64_t shadow = shadowAddrOf(base);
+    EXPECT_TRUE(as.memory().pageTable().isMapped(shadow));
+    // Shadow is writable (the allocator paints it).
+    as.memory().writeU64(alignDown(shadow, 8), 0xff);
+}
+
+TEST(AddrSpace, MunmapRemovesRegion)
+{
+    AddressSpace as;
+    const uint64_t base = as.mmapHeap(2 * MiB);
+    as.munmapHeap(base, 2 * MiB);
+    EXPECT_FALSE(as.memory().pageTable().isMapped(base));
+    EXPECT_TRUE(as.heapSegments().empty());
+}
+
+TEST(AddrSpace, SweepableSegmentsCoverGlobalsStackHeap)
+{
+    AddressSpace as;
+    as.mmapHeap(1 * MiB);
+    as.mmapHeap(1 * MiB);
+    const auto segs = as.sweepableSegments();
+    ASSERT_EQ(segs.size(), 4u);
+    EXPECT_EQ(segs[0].name, "globals");
+    EXPECT_EQ(segs[1].name, "stack");
+    EXPECT_EQ(segs[2].name, "heap");
+    EXPECT_EQ(segs[3].name, "heap");
+    // None of them is the shadow region.
+    for (const auto &s : segs)
+        EXPECT_LT(s.base, kShadowBase);
+}
+
+TEST(AddrSpace, RootCapSpansEverythingAndBaseZero)
+{
+    AddressSpace as;
+    EXPECT_TRUE(as.rootCap().tag());
+    EXPECT_EQ(as.rootCap().base(), 0u);
+}
+
+TEST(AddrSpace, RegistersAreSweepableStorage)
+{
+    AddressSpace as;
+    auto &regs = as.registers();
+    regs.reg(3) = as.rootCap();
+    int tagged = 0;
+    regs.forEach([&](cap::Capability &c) { tagged += c.tag() ? 1 : 0; });
+    EXPECT_EQ(tagged, 1);
+}
+
+TEST(AddrSpace, HeapCollisionWithStackPanics)
+{
+    AddressSpace as;
+    EXPECT_THROW(as.mmapHeap(kStackBase - kHeapBase + kPageBytes),
+                 PanicError);
+}
+
+} // namespace
+} // namespace mem
+} // namespace cherivoke

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the baseline temporal-safety techniques (paper §7), and
+ * the differential properties the paper uses to argue for CHERIvoke:
+ * conservative GC retains integer-aliased garbage, registry schemes
+ * miss hidden pointers, page schemes waste page-granular memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "alloc/cherivoke_alloc.hh"
+#include "baseline/boehm_gc.hh"
+#include "baseline/dangsan.hh"
+#include "baseline/oscar.hh"
+#include "baseline/psweeper.hh"
+#include "baseline/published.hh"
+#include "stats/summary.hh"
+#include "revoke/revoker.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace baseline {
+namespace {
+
+using cap::Capability;
+
+class BoehmGcTest : public ::testing::Test
+{
+  protected:
+    BoehmGcTest() : dl(space), gc(space, dl) {}
+
+    mem::AddressSpace space;
+    alloc::DlAllocator dl;
+    BoehmGc gc;
+};
+
+TEST_F(BoehmGcTest, UnreachableObjectCollected)
+{
+    const Capability a = gc.gcAlloc(64);
+    (void)a; // never stored anywhere reachable
+    const GcStats stats = gc.collect();
+    EXPECT_EQ(stats.objectsFreed, 1u);
+    EXPECT_EQ(gc.liveObjects(), 0u);
+}
+
+TEST_F(BoehmGcTest, RootReferencedObjectSurvives)
+{
+    const Capability a = gc.gcAlloc(64);
+    space.memory().writeU64(mem::kGlobalsBase, a.base());
+    const GcStats stats = gc.collect();
+    EXPECT_EQ(stats.objectsFreed, 0u);
+    EXPECT_EQ(stats.objectsMarked, 1u);
+}
+
+TEST_F(BoehmGcTest, TransitiveReachabilityMarks)
+{
+    const Capability a = gc.gcAlloc(64);
+    const Capability b = gc.gcAlloc(64);
+    const Capability c = gc.gcAlloc(64);
+    // root -> a -> b; c unreachable.
+    space.memory().writeU64(mem::kGlobalsBase, a.base());
+    space.memory().writeU64(a.base(), b.base());
+    (void)c;
+    const GcStats stats = gc.collect();
+    EXPECT_EQ(stats.objectsMarked, 2u);
+    EXPECT_EQ(stats.objectsFreed, 1u);
+}
+
+TEST_F(BoehmGcTest, InteriorPointerKeepsObjectAlive)
+{
+    const Capability a = gc.gcAlloc(256);
+    space.memory().writeU64(mem::kGlobalsBase, a.base() + 128);
+    const GcStats stats = gc.collect();
+    EXPECT_EQ(stats.objectsFreed, 0u);
+}
+
+TEST_F(BoehmGcTest, ConservativeFalsePositiveRetainsGarbage)
+{
+    // The §7.3 weakness: an integer that merely *looks like* the
+    // address keeps dead memory alive.
+    const Capability a = gc.gcAlloc(64);
+    const uint64_t fake_int = a.base(); // an integer, not a pointer
+    space.memory().writeU64(mem::kStackBase + 64, fake_int);
+    const GcStats stats = gc.collect();
+    EXPECT_EQ(stats.objectsFreed, 0u)
+        << "conservative GC cannot free integer-aliased garbage";
+}
+
+TEST_F(BoehmGcTest, RegisterRootsScanned)
+{
+    const Capability a = gc.gcAlloc(64);
+    space.registers().reg(3) = a;
+    const GcStats stats = gc.collect();
+    EXPECT_EQ(stats.objectsFreed, 0u);
+}
+
+TEST_F(BoehmGcTest, MarkingIsGraphWalk)
+{
+    // A linked list of N nodes requires N mark visits — the
+    // irregular traversal that CHERIvoke's linear sweep avoids.
+    Capability prev = gc.gcAlloc(64);
+    space.memory().writeU64(mem::kGlobalsBase, prev.base());
+    for (int i = 0; i < 20; ++i) {
+        const Capability node = gc.gcAlloc(64);
+        space.memory().writeU64(prev.base(), node.base());
+        prev = node;
+    }
+    const GcStats stats = gc.collect();
+    EXPECT_EQ(stats.objectsMarked, 21u);
+    EXPECT_GE(stats.markVisits, 21u);
+}
+
+class DangSanTest : public ::testing::Test
+{
+  protected:
+    DangSanTest() : dl(space), ds(space, dl) {}
+
+    mem::AddressSpace space;
+    alloc::DlAllocator dl;
+    DangSan ds;
+};
+
+TEST_F(DangSanTest, RecordedPointerNullifiedOnFree)
+{
+    const Capability a = ds.malloc(64);
+    ds.recordPointerStore(mem::kGlobalsBase, a);
+    ds.free(a);
+    EXPECT_EQ(space.memory().readU64(mem::kGlobalsBase), 0u);
+    EXPECT_EQ(ds.stats().nullified, 1u);
+}
+
+TEST_F(DangSanTest, OverwrittenLocationNotNullified)
+{
+    const Capability a = ds.malloc(64);
+    const Capability b = ds.malloc(64);
+    ds.recordPointerStore(mem::kGlobalsBase, a);
+    ds.recordPointerStore(mem::kGlobalsBase, b); // overwrite
+    ds.free(a);
+    // The location now holds b; freeing a must not nullify it.
+    EXPECT_EQ(space.memory().readU64(mem::kGlobalsBase), b.base());
+    EXPECT_EQ(ds.stats().staleEntries, 1u);
+}
+
+TEST_F(DangSanTest, RegistryGrowsWithPointerStores)
+{
+    const Capability hub = ds.malloc(64);
+    for (uint64_t i = 0; i < 100; ++i)
+        ds.recordPointerStore(mem::kGlobalsBase + i * 16, hub);
+    EXPECT_EQ(ds.registrySizeFor(hub.base()), 100u);
+    EXPECT_GT(ds.stats().registryBytes, 100 * 8u)
+        << "per-store metadata is DangSan's structural cost";
+}
+
+TEST_F(DangSanTest, HiddenPointerEscapesNullification)
+{
+    // The §7.1 weakness: a pointer copied through an uninstrumented
+    // channel survives free and still dereferences reallocated data.
+    const Capability a = ds.malloc(64);
+    ds.recordPointerStore(mem::kGlobalsBase, a);
+    // Hidden copy: raw byte copy the instrumentation cannot see.
+    auto &memory = space.memory();
+    memory.writeU64(mem::kGlobalsBase + 4096, a.base());
+    ds.free(a);
+    // The hidden copy still holds the raw address, and the memory is
+    // immediately reusable: a use-after-reallocation is live.
+    const Capability b = ds.malloc(64);
+    EXPECT_EQ(b.base(), a.base()) << "memory reused immediately";
+    EXPECT_EQ(memory.readU64(mem::kGlobalsBase + 4096), b.base())
+        << "hidden pointer aliases the attacker's new allocation";
+}
+
+TEST(CherivokeVsDangSan, CherivokeCatchesHiddenPointerCopies)
+{
+    // The same scenario under CHERIvoke: even an untracked capability
+    // copy is found by the sweep, because tags identify every copy.
+    mem::AddressSpace space;
+    alloc::CherivokeConfig cfg;
+    cfg.minQuarantineBytes = 16;
+    alloc::CherivokeAllocator alloc(space, cfg);
+    revoke::Revoker revoker(alloc, space);
+    auto &memory = space.memory();
+
+    const Capability a = alloc.malloc(64);
+    memory.writeCap(mem::kGlobalsBase, a);
+    // "Hidden" copy: the program copies the capability wholesale; on
+    // CHERI the tag travels with it and the sweep still sees it.
+    memory.copyPreservingTags(mem::kGlobalsBase + 4096,
+                              mem::kGlobalsBase, 16);
+    alloc.free(a);
+    revoker.revokeNow();
+    EXPECT_FALSE(memory.readCap(mem::kGlobalsBase).tag());
+    EXPECT_FALSE(memory.readCap(mem::kGlobalsBase + 4096).tag())
+        << "CHERIvoke revokes copies DangSan-style schemes miss";
+}
+
+class PSweeperTest : public ::testing::Test
+{
+  protected:
+    PSweeperTest() : dl(space), ps(space, dl, /*budget=*/1 * MiB) {}
+
+    mem::AddressSpace space;
+    alloc::DlAllocator dl;
+    PSweeper ps;
+};
+
+TEST_F(PSweeperTest, FreeIsDeferredUntilSweep)
+{
+    const Capability a = ps.malloc(64);
+    const uint64_t addr = a.base();
+    ps.free(a);
+    // Memory not yet reusable (deferred list).
+    const Capability b = ps.malloc(64);
+    EXPECT_NE(b.base(), addr);
+    ps.sweepNow();
+    const Capability c = ps.malloc(64);
+    EXPECT_EQ(c.base(), addr) << "released after the sweep";
+}
+
+TEST_F(PSweeperTest, SweepNullifiesLoggedPointers)
+{
+    const Capability a = ps.malloc(64);
+    ps.recordPointerStore(mem::kGlobalsBase, a);
+    ps.free(a);
+    ps.sweepNow();
+    EXPECT_EQ(space.memory().readU64(mem::kGlobalsBase), 0u);
+    EXPECT_EQ(ps.stats().nullified, 1u);
+}
+
+TEST_F(PSweeperTest, BudgetTriggersAutomaticSweep)
+{
+    std::vector<Capability> caps;
+    for (int i = 0; i < 40; ++i)
+        caps.push_back(ps.malloc(64 * KiB));
+    for (auto &c : caps)
+        ps.free(c);
+    EXPECT_GT(ps.stats().sweeps, 0u);
+    EXPECT_LT(ps.deferredBytes(), 2 * MiB);
+}
+
+TEST_F(PSweeperTest, SweepCostScalesWithLoggedStores)
+{
+    const Capability keep = ps.malloc(64);
+    for (uint64_t i = 0; i < 500; ++i)
+        ps.recordPointerStore(mem::kGlobalsBase + i * 16, keep);
+    const Capability dead = ps.malloc(64);
+    ps.free(dead);
+    ps.sweepNow();
+    EXPECT_GE(ps.stats().entriesWalked, 500u)
+        << "sweep walks metadata proportional to pointer stores";
+}
+
+class OscarTest : public ::testing::Test
+{
+  protected:
+    OscarTest() : oscar(space) {}
+
+    mem::AddressSpace space;
+    Oscar oscar;
+};
+
+TEST_F(OscarTest, EachAllocationGetsItsOwnPages)
+{
+    const Capability a = oscar.malloc(16);
+    const Capability b = oscar.malloc(16);
+    EXPECT_TRUE(isAligned(a.base(), kPageBytes));
+    EXPECT_TRUE(isAligned(b.base(), kPageBytes));
+    EXPECT_GE(oscar.liveAliasedBytes(), 2 * kPageBytes);
+}
+
+TEST_F(OscarTest, FreedAliasFaultsOnAccess)
+{
+    const Capability a = oscar.malloc(64);
+    auto &memory = space.memory();
+    memory.storeU64(a, a.base(), 7);
+    oscar.free(a);
+    EXPECT_THROW((void)memory.loadU64(a, a.base()), cap::CapFault)
+        << "poisoned page must fault dangling accesses";
+}
+
+TEST_F(OscarTest, SmallAllocationsWasteMemoryInModel)
+{
+    const OscarEstimate est =
+        estimateOscar(OscarCosts{}, /*allocs_per_sec=*/1.0e6,
+                      /*mean_alloc_bytes=*/64,
+                      /*live_heap_bytes=*/64.0 * MiB);
+    EXPECT_GT(est.memoryOverhead, 10.0)
+        << "page rounding of 64B allocations wastes >10x memory";
+    EXPECT_GT(est.runtimeOverhead, 1.0)
+        << "1M mmap/munmap per second dominates runtime";
+}
+
+TEST_F(OscarTest, LargeAllocationsCheapInModel)
+{
+    const OscarEstimate est =
+        estimateOscar(OscarCosts{}, /*allocs_per_sec=*/10.0,
+                      /*mean_alloc_bytes=*/1.0 * MiB,
+                      /*live_heap_bytes=*/256.0 * MiB);
+    EXPECT_LT(est.runtimeOverhead, 0.01);
+    EXPECT_LT(est.memoryOverhead, 0.01);
+}
+
+TEST(Published, TableCoversAllSixteenBenchmarks)
+{
+    EXPECT_EQ(publishedFigure5().size(), 16u);
+    EXPECT_NO_THROW(publishedRowFor("xalancbmk"));
+    EXPECT_THROW(publishedRowFor("nonesuch"), FatalError);
+}
+
+TEST(Published, CherivokeWinsOnGeomeanAndWorstCase)
+{
+    // The figure's actual claim (§6): CHERIvoke wins on geomean and
+    // on worst case — not necessarily on every single benchmark
+    // (DangSan is cheaper on e.g. soplex).
+    std::vector<double> cvk, oscar, psw, dang, gc, cvk_m, dang_m;
+    for (const auto &row : publishedFigure5()) {
+        cvk.push_back(row.cherivokeTime);
+        oscar.push_back(row.oscarTime);
+        psw.push_back(row.psweeperTime);
+        dang.push_back(row.dangsanTime);
+        gc.push_back(row.boehmGcTime);
+        cvk_m.push_back(row.cherivokeMem);
+        dang_m.push_back(row.dangsanMem);
+    }
+    using stats::geomean;
+    EXPECT_LT(geomean(cvk), geomean(oscar));
+    EXPECT_LT(geomean(cvk), geomean(psw));
+    EXPECT_LT(geomean(cvk), geomean(dang));
+    EXPECT_LT(geomean(cvk), geomean(gc));
+    EXPECT_LT(geomean(cvk_m), geomean(dang_m));
+    auto maxof = [](const std::vector<double> &v) {
+        return *std::max_element(v.begin(), v.end());
+    };
+    EXPECT_LE(maxof(cvk), 1.51);
+    EXPECT_LT(maxof(cvk), maxof(oscar));
+    EXPECT_LT(maxof(cvk), maxof(dang));
+    EXPECT_LT(maxof(cvk), maxof(gc));
+}
+
+TEST(Published, HeadlinesMatchAbstract)
+{
+    const PaperHeadlines h = paperHeadlines();
+    EXPECT_DOUBLE_EQ(h.avgRuntimeOverhead, 0.047);
+    EXPECT_DOUBLE_EQ(h.maxRuntimeOverhead, 0.51);
+    EXPECT_DOUBLE_EQ(h.avgMemoryOverhead, 0.125);
+    EXPECT_DOUBLE_EQ(h.heapOverheadSetting, 0.25);
+}
+
+} // namespace
+} // namespace baseline
+} // namespace cherivoke

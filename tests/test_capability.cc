@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the Capability type: monotonic derivation, tag
+ * semantics, packing, and the sweeper's base fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cap/capability.hh"
+#include "support/rng.hh"
+
+namespace cherivoke {
+namespace cap {
+namespace {
+
+Capability
+heapCap(uint64_t base, uint64_t len)
+{
+    return Capability::root().setAddress(base).setBounds(len)
+        .andPerms(kPermsData);
+}
+
+TEST(Capability, DefaultIsUntaggedNull)
+{
+    Capability c;
+    EXPECT_FALSE(c.tag());
+    EXPECT_EQ(c.address(), 0u);
+    EXPECT_EQ(c.perms(), 0u);
+}
+
+TEST(Capability, RootSpansEverything)
+{
+    const Capability root = Capability::root();
+    EXPECT_TRUE(root.tag());
+    EXPECT_EQ(root.base(), 0u);
+    EXPECT_EQ(root.top(), u128{1} << 64);
+    EXPECT_TRUE(root.hasPerm(kPermsAll));
+    EXPECT_TRUE(root.inBounds(0xdeadbeef, 1024));
+}
+
+TEST(Capability, SetBoundsNarrows)
+{
+    const Capability c = heapCap(0x1000, 256);
+    EXPECT_TRUE(c.tag());
+    EXPECT_EQ(c.base(), 0x1000u);
+    EXPECT_EQ(static_cast<uint64_t>(c.length()), 256u);
+    EXPECT_EQ(c.address(), 0x1000u);
+    EXPECT_TRUE(c.inBounds(0x1000, 256));
+    EXPECT_FALSE(c.inBounds(0x1000, 257));
+    EXPECT_FALSE(c.inBounds(0xfff, 1));
+}
+
+TEST(Capability, SetBoundsCannotWiden)
+{
+    const Capability c = heapCap(0x1000, 256);
+    EXPECT_THROW(c.setBounds(257), CapFault);
+    EXPECT_THROW(c.setAddress(0x0fff).setBounds(16), CapFault);
+    // Widening from inside must also fail.
+    EXPECT_THROW(c.setAddress(0x1080).setBounds(256), CapFault);
+}
+
+TEST(Capability, SetBoundsOnUntaggedFaults)
+{
+    Capability c = heapCap(0x1000, 256);
+    c.clearTag();
+    try {
+        c.setBounds(16);
+        FAIL() << "expected CapFault";
+    } catch (const CapFault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::Tag);
+    }
+}
+
+TEST(Capability, MonotonicityFaultKind)
+{
+    const Capability c = heapCap(0x1000, 256);
+    try {
+        c.setBounds(512);
+        FAIL() << "expected CapFault";
+    } catch (const CapFault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::Monotonicity);
+    }
+}
+
+TEST(Capability, SubObjectDerivation)
+{
+    const Capability obj = heapCap(0x2000, 4096);
+    const Capability field = obj.setAddress(0x2100).setBounds(64);
+    EXPECT_EQ(field.base(), 0x2100u);
+    EXPECT_EQ(static_cast<uint64_t>(field.length()), 64u);
+    EXPECT_TRUE(field.tag());
+}
+
+TEST(Capability, AndPermsOnlyRemoves)
+{
+    const Capability c = heapCap(0x1000, 64);
+    const Capability ro = c.andPerms(PermLoad | PermLoadCap);
+    EXPECT_TRUE(ro.hasPerm(PermLoad));
+    EXPECT_FALSE(ro.hasPerm(PermStore));
+    // Re-anding cannot restore.
+    const Capability back = ro.andPerms(kPermsAll);
+    EXPECT_FALSE(back.hasPerm(PermStore));
+}
+
+TEST(Capability, AddressWanderStaysTaggedWithinRepresentableSpace)
+{
+    const Capability c = heapCap(0x8000, 128);
+    // Slightly past the end: representable, still tagged, same bounds.
+    const Capability past = c.incAddress(130);
+    EXPECT_TRUE(past.tag());
+    EXPECT_EQ(past.base(), 0x8000u);
+    EXPECT_FALSE(past.inBounds(past.address(), 1));
+}
+
+TEST(Capability, FarWanderClearsTag)
+{
+    const Capability c = heapCap(0x8000, 128);
+    const Capability far = c.incAddress(int64_t{1} << 40);
+    EXPECT_FALSE(far.tag());
+}
+
+TEST(Capability, UntaggedAddressArithmeticIsPlainData)
+{
+    Capability c = heapCap(0x8000, 128);
+    c.clearTag();
+    const Capability moved = c.incAddress(1 << 20);
+    EXPECT_FALSE(moved.tag());
+    EXPECT_EQ(moved.address(), 0x8000u + (1u << 20));
+}
+
+TEST(Capability, PackUnpackRoundTrip)
+{
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t base =
+            (rng.next() >> 20) & ~uint64_t{0xf};
+        const uint64_t len = rng.nextLogUniform(16, 1 << 20);
+        const Capability c =
+            Capability::root().setAddress(base).setBounds(len)
+                .andPerms(kPermsData);
+        const Capability r =
+            Capability::unpack(c.packLow(), c.packHigh(), c.tag());
+        EXPECT_EQ(r, c);
+        EXPECT_EQ(r.base(), c.base());
+        EXPECT_EQ(r.top(), c.top());
+        EXPECT_EQ(r.perms(), c.perms());
+    }
+}
+
+TEST(Capability, DecodeBaseFastPathMatchesFullDecode)
+{
+    Rng rng(13);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t base = (rng.next() >> 18) & ~uint64_t{0xf};
+        const uint64_t len = rng.nextLogUniform(16, 1 << 24);
+        const Capability c =
+            Capability::root().setAddress(base).setBounds(len);
+        EXPECT_EQ(Capability::decodeBase(c.packLow(), c.packHigh()),
+                  c.base());
+    }
+}
+
+TEST(Capability, BaseStaysInOriginalAllocationUnderDerivation)
+{
+    // Paper §3.2 fn 2: any capability derived from an allocation has
+    // its base within that allocation; the shadow-map lookup keys on
+    // the base.
+    Rng rng(99);
+    const uint64_t alloc_base = 0x100000;
+    const uint64_t alloc_len = 8192;
+    const Capability obj = heapCap(alloc_base, alloc_len);
+    for (int i = 0; i < 300; ++i) {
+        const uint64_t off = rng.nextBounded(alloc_len);
+        Capability derived = obj.setAddress(alloc_base + off);
+        const uint64_t remain = alloc_len - off;
+        if (rng.nextBool(0.5))
+            derived = derived.setBounds(rng.nextRange(1, remain));
+        ASSERT_TRUE(derived.tag());
+        EXPECT_GE(derived.base(), alloc_base);
+        EXPECT_LE(derived.top(), u128{alloc_base} + alloc_len);
+    }
+}
+
+TEST(Capability, SetBoundsExactFaultsOnUnrepresentable)
+{
+    // A huge, misaligned request inside root bounds.
+    const Capability c =
+        Capability::root().setAddress((1ULL << 33) + 16);
+    EXPECT_THROW(c.setBoundsExact((1ULL << 32) + 1), CapFault);
+}
+
+TEST(Capability, ToStringMentionsBoundsAndTag)
+{
+    const Capability c = heapCap(0x1000, 64);
+    const std::string s = c.toString();
+    EXPECT_NE(s.find("0x1000"), std::string::npos);
+    EXPECT_NE(s.find("tag=1"), std::string::npos);
+}
+
+} // namespace
+} // namespace cap
+} // namespace cherivoke

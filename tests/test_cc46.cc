@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit and property tests for the CC-46 compressed-bounds codec.
+ *
+ * The properties verified here are exactly the ones CHERIvoke's
+ * correctness rests on (paper §4.1): decoded bounds always contain the
+ * requested object, small objects encode exactly at byte granularity,
+ * huge objects demand a known alignment the allocator can satisfy, and
+ * the base never drifts below the original allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cap/cc46.hh"
+#include "support/bitops.hh"
+#include "support/rng.hh"
+
+namespace cherivoke {
+namespace cap {
+namespace {
+
+TEST(Cc46, ZeroLengthEncodesExactly)
+{
+    const EncodeResult r = encode(0x1000, 0x1000);
+    EXPECT_TRUE(r.exact);
+    const Bounds b = decode(r.enc, 0x1000);
+    EXPECT_EQ(b.base, 0x1000u);
+    EXPECT_EQ(static_cast<uint64_t>(b.top), 0x1000u);
+}
+
+TEST(Cc46, SmallLengthsAlwaysExact)
+{
+    for (uint64_t base : {0ULL, 1ULL, 0x1234ULL, 0xffffffffULL,
+                          0x7fffffffffffULL}) {
+        for (uint64_t len : {uint64_t{1}, uint64_t{16}, uint64_t{100},
+                             uint64_t{4096}, kMaxSmallLength}) {
+            const EncodeResult r = encode(base, u128{base} + len);
+            EXPECT_TRUE(r.exact) << "base=" << base << " len=" << len;
+            const Bounds b = decode(r.enc, base);
+            EXPECT_EQ(b.base, base);
+            EXPECT_EQ(static_cast<uint64_t>(b.top - b.base), len);
+        }
+    }
+}
+
+TEST(Cc46, SmallEncodingUsesNoInternalExponent)
+{
+    const EncodeResult r = encode(0x4000, 0x4000 + 4096);
+    EXPECT_FALSE(r.enc.internalExponent());
+}
+
+TEST(Cc46, LargeEncodingUsesInternalExponent)
+{
+    const EncodeResult r = encode(0, u128{kMaxSmallLength} * 2);
+    EXPECT_TRUE(r.enc.internalExponent());
+}
+
+TEST(Cc46, FullAddressSpaceEncodes)
+{
+    const EncodeResult r = encode(0, u128{1} << 64);
+    EXPECT_TRUE(r.exact);
+    const Bounds b = decode(r.enc, 0);
+    EXPECT_EQ(b.base, 0u);
+    EXPECT_EQ(b.top, u128{1} << 64);
+}
+
+TEST(Cc46, LargeAlignedRegionExact)
+{
+    // 1 GiB region aligned to its representable alignment.
+    const uint64_t len = 1ULL << 30;
+    const uint64_t mask = representableAlignmentMask(len);
+    const uint64_t align = ~mask + 1;
+    ASSERT_NE(align, 0u);
+    const uint64_t base = alignUp(0x1234567890ULL, align);
+    const EncodeResult r = encode(base, u128{base} + len);
+    EXPECT_TRUE(r.exact);
+    const Bounds b = decode(r.enc, base);
+    EXPECT_EQ(b.base, base);
+    EXPECT_EQ(static_cast<uint64_t>(b.top - b.base), len);
+}
+
+TEST(Cc46, MisalignedLargeRegionRoundsOutward)
+{
+    const uint64_t len = (1ULL << 30) + 1; // just over 1 GiB
+    const uint64_t base = (1ULL << 32) + 16; // misaligned for this size
+    const EncodeResult r = encode(base, u128{base} + len);
+    EXPECT_FALSE(r.exact);
+    EXPECT_LE(r.actual.base, base);
+    EXPECT_GE(r.actual.top, u128{base} + len);
+}
+
+TEST(Cc46, DecodeStableAcrossInBoundsAddresses)
+{
+    const uint64_t base = 0x10000;
+    const uint64_t len = 100000;
+    const EncodeResult r = encode(base, u128{base} + len);
+    ASSERT_TRUE(r.exact);
+    const Bounds expect{base, u128{base} + len};
+    for (uint64_t a = base; a < base + len; a += 997)
+        EXPECT_EQ(decode(r.enc, a), expect) << "a=" << a;
+    // One-past-the-end is also representable in CHERI.
+    EXPECT_EQ(decode(r.enc, base + len), expect);
+}
+
+TEST(Cc46, RepresentabilityWithinObject)
+{
+    const uint64_t base = 0x40000000;
+    const uint64_t len = 4096;
+    const EncodeResult r = encode(base, u128{base} + len);
+    EXPECT_TRUE(representable(r.enc, base, base + 10));
+    EXPECT_TRUE(representable(r.enc, base, base + len));
+    EXPECT_TRUE(representable(r.enc, base + 10, base));
+}
+
+TEST(Cc46, FarOutOfBoundsUnrepresentable)
+{
+    const uint64_t base = 0x40000000;
+    const uint64_t len = 64;
+    const EncodeResult r = encode(base, u128{base} + len);
+    // The representable window around a 64-byte object is at most the
+    // 2^22 mantissa window; 2^32 away is far outside it.
+    EXPECT_FALSE(representable(r.enc, base, base + (1ULL << 32)));
+}
+
+TEST(Cc46, AlignmentMaskMonotoneInLength)
+{
+    uint64_t prev_align = 1;
+    for (unsigned bits = 10; bits < 48; ++bits) {
+        const uint64_t len = uint64_t{1} << bits;
+        const uint64_t mask = representableAlignmentMask(len);
+        const uint64_t align = mask == ~uint64_t{0} ? 1 : ~mask + 1;
+        EXPECT_GE(align, prev_align)
+            << "alignment must not shrink as length grows";
+        prev_align = align;
+    }
+}
+
+TEST(Cc46, RoundRepresentableLengthIsSufficient)
+{
+    Rng rng(2024);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t len = rng.nextLogUniform(1, 1ULL << 40);
+        const uint64_t rounded = roundRepresentableLength(len);
+        EXPECT_GE(rounded, len);
+        const uint64_t mask = representableAlignmentMask(rounded);
+        const uint64_t align = mask == ~uint64_t{0} ? 1 : ~mask + 1;
+        const uint64_t base = alignUp(rng.next() >> 20, align);
+        const EncodeResult r = encode(base, u128{base} + rounded);
+        EXPECT_TRUE(r.exact)
+            << "padded allocation must encode exactly; len=" << len;
+    }
+}
+
+/** Property sweep: random (base, length) pairs over many magnitudes. */
+class Cc46Property : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(Cc46Property, ContainmentAndBaseInvariants)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        const unsigned len_bits =
+            static_cast<unsigned>(rng.nextRange(0, 40));
+        const uint64_t len =
+            len_bits == 0 ? rng.nextRange(0, 4)
+                          : rng.nextLogUniform(1, 1ULL << len_bits);
+        const uint64_t base = rng.next() >> rng.nextRange(1, 30);
+        const EncodeResult r = encode(base, u128{base} + len);
+
+        // 1. Decoded bounds contain the request.
+        EXPECT_LE(r.actual.base, base);
+        EXPECT_GE(r.actual.top, u128{base} + len);
+
+        // 2. decode(enc, base) reproduces the actual bounds.
+        const Bounds b = decode(r.enc, base);
+        EXPECT_EQ(b, r.actual);
+
+        // 3. Exactness implies equality with the request.
+        if (r.exact) {
+            EXPECT_EQ(b.base, base);
+            EXPECT_EQ(b.top, u128{base} + len);
+        }
+
+        // 4. Decode is stable at several probe addresses inside.
+        const u128 span = r.actual.top - r.actual.base;
+        if (span > 0) {
+            for (int p = 0; p < 4; ++p) {
+                const uint64_t probe =
+                    r.actual.base +
+                    static_cast<uint64_t>(
+                        rng.nextBounded(static_cast<uint64_t>(
+                            std::min<u128>(span, ~uint64_t{0}))));
+                EXPECT_EQ(decode(r.enc, probe), r.actual)
+                    << "probe=" << probe;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Cc46Property,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace cap
+} // namespace cherivoke

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the page table and PTE CapDirty semantics (§3.4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace mem {
+namespace {
+
+TEST(PageTable, MapAndLookup)
+{
+    PageTable pt;
+    pt.map(0x10000, 4 * kPageBytes, ProtRead | ProtWrite);
+    EXPECT_TRUE(pt.isMapped(0x10000));
+    EXPECT_TRUE(pt.isMapped(0x10000 + 4 * kPageBytes - 1));
+    EXPECT_FALSE(pt.isMapped(0x10000 + 4 * kPageBytes));
+    EXPECT_FALSE(pt.isMapped(0xffff));
+    EXPECT_EQ(pt.pageCount(), 4u);
+}
+
+TEST(PageTable, UnmapRemovesEntries)
+{
+    PageTable pt;
+    pt.map(0x10000, 4 * kPageBytes, ProtRead);
+    pt.unmap(0x10000 + kPageBytes, 2 * kPageBytes);
+    EXPECT_TRUE(pt.isMapped(0x10000));
+    EXPECT_FALSE(pt.isMapped(0x10000 + kPageBytes));
+    EXPECT_FALSE(pt.isMapped(0x10000 + 2 * kPageBytes));
+    EXPECT_TRUE(pt.isMapped(0x10000 + 3 * kPageBytes));
+}
+
+TEST(PageTable, MisalignedMapPanics)
+{
+    PageTable pt;
+    EXPECT_THROW(pt.map(0x10008, kPageBytes, ProtRead), PanicError);
+    EXPECT_THROW(pt.map(0x10000, 100, ProtRead), PanicError);
+}
+
+TEST(PageTable, CapDirtyTrapOnlyOnFirstTransition)
+{
+    PageTable pt;
+    pt.map(0x20000, kPageBytes, ProtRead | ProtWrite);
+    EXPECT_FALSE(pt.lookup(0x20000)->capDirty);
+    EXPECT_TRUE(pt.setCapDirty(0x20100)) << "first set is a trap";
+    EXPECT_FALSE(pt.setCapDirty(0x20200)) << "second set is silent";
+    EXPECT_TRUE(pt.lookup(0x20000)->capDirty);
+}
+
+TEST(PageTable, ClearCapDirtyResets)
+{
+    PageTable pt;
+    pt.map(0x20000, kPageBytes, ProtRead | ProtWrite);
+    pt.setCapDirty(0x20000);
+    pt.clearCapDirty(0x20000);
+    EXPECT_FALSE(pt.lookup(0x20000)->capDirty);
+    EXPECT_TRUE(pt.setCapDirty(0x20000)) << "trap fires again";
+}
+
+TEST(PageTable, CapDirtyPagesSortedAndFiltered)
+{
+    PageTable pt;
+    pt.map(0x30000, 8 * kPageBytes, ProtRead | ProtWrite);
+    pt.setCapDirty(0x30000 + 5 * kPageBytes);
+    pt.setCapDirty(0x30000 + 1 * kPageBytes);
+    const auto pages = pt.capDirtyPages();
+    ASSERT_EQ(pages.size(), 2u);
+    EXPECT_EQ(pages[0], 0x30000 + 1 * kPageBytes);
+    EXPECT_EQ(pages[1], 0x30000 + 5 * kPageBytes);
+    EXPECT_EQ(pt.capDirtyCount(), 2u);
+}
+
+TEST(PageTable, MappedPagesEnumeration)
+{
+    PageTable pt;
+    pt.map(0x40000, 2 * kPageBytes, ProtRead);
+    pt.map(0x80000, kPageBytes, ProtRead);
+    const auto pages = pt.mappedPages();
+    ASSERT_EQ(pages.size(), 3u);
+    EXPECT_EQ(pages[0], 0x40000u);
+    EXPECT_EQ(pages[2], 0x80000u);
+}
+
+TEST(PageTable, CapStoreInhibitFlagPreserved)
+{
+    PageTable pt;
+    pt.map(0x50000, kPageBytes, ProtRead | ProtWrite,
+           /*cap_store_inhibit=*/true);
+    EXPECT_TRUE(pt.lookup(0x50000)->capStoreInhibit);
+}
+
+TEST(PageTable, RemapUpdatesProtection)
+{
+    PageTable pt;
+    pt.map(0x60000, kPageBytes, ProtRead);
+    pt.map(0x60000, kPageBytes, ProtRead | ProtWrite);
+    EXPECT_EQ(pt.lookup(0x60000)->prot, ProtRead | ProtWrite);
+}
+
+} // namespace
+} // namespace mem
+} // namespace cherivoke

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for counters, running summaries, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/counters.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace stats {
+namespace {
+
+TEST(Counter, StartsAtZeroAndIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.increment(10);
+    ++c;
+    EXPECT_EQ(c.value(), 12u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterGroup, LazyCreationAndLookup)
+{
+    CounterGroup g;
+    EXPECT_FALSE(g.has("a.b"));
+    EXPECT_EQ(g.value("a.b"), 0u);
+    g.counter("a.b").increment(3);
+    EXPECT_TRUE(g.has("a.b"));
+    EXPECT_EQ(g.value("a.b"), 3u);
+}
+
+TEST(CounterGroup, InsertionOrderPreserved)
+{
+    CounterGroup g;
+    g.counter("z");
+    g.counter("a");
+    g.counter("m");
+    ASSERT_EQ(g.names().size(), 3u);
+    EXPECT_EQ(g.names()[0], "z");
+    EXPECT_EQ(g.names()[1], "a");
+    EXPECT_EQ(g.names()[2], "m");
+}
+
+TEST(CounterGroup, ResetAllKeepsRegistration)
+{
+    CounterGroup g;
+    g.counter("x").increment(5);
+    g.resetAll();
+    EXPECT_TRUE(g.has("x"));
+    EXPECT_EQ(g.value("x"), 0u);
+}
+
+TEST(CounterGroup, ReportContainsEachCounter)
+{
+    CounterGroup g;
+    g.counter("dram.reads").increment(7);
+    const std::string rep = g.report();
+    EXPECT_NE(rep.find("dram.reads 7"), std::string::npos);
+}
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, SingleSample)
+{
+    Summary s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments)
+{
+    Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.total(), 40.0, 1e-12);
+}
+
+TEST(Geomean, MatchesHandComputation)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Geomean, EmptyReturnsZero)
+{
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, RejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), PanicError);
+    EXPECT_THROW(geomean({-1.0}), PanicError);
+}
+
+TEST(Mean, Basic)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"bench", "time", "mem"});
+    t.addRow({"astar", "1.02", "1.10"});
+    t.addRow({"xalancbmk", "1.51", "1.35"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("xalancbmk"), std::string::npos);
+    EXPECT_NE(out.find("1.51"), std::string::npos);
+    // Header underline present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(TextTable, NumberFormatters)
+{
+    EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::percent(0.047, 1), "4.7%");
+    EXPECT_EQ(TextTable::percent(0.25, 0), "25%");
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t({"name", "v"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    const std::string out = t.render();
+    // Every line has the same length (aligned columns).
+    size_t prev = std::string::npos;
+    size_t start = 0;
+    while (start < out.size()) {
+        const size_t nl = out.find('\n', start);
+        const size_t len = nl - start;
+        if (prev != std::string::npos) {
+            EXPECT_EQ(len, prev);
+        }
+        prev = len;
+        start = nl + 1;
+    }
+}
+
+} // namespace
+} // namespace stats
+} // namespace cherivoke

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Correctness tests for the revocation sweep — the paper's central
+ * guarantee (§4.2): after a sweep, no reachable capability anywhere
+ * (heap, stack, globals, registers) references quarantined memory,
+ * while every capability to live memory is untouched; and the
+ * hardware work-elimination options never change the outcome.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "alloc/cherivoke_alloc.hh"
+#include "revoke/analytical_model.hh"
+#include "revoke/revoker.hh"
+#include "revoke/sweeper.hh"
+#include "support/rng.hh"
+
+namespace cherivoke {
+namespace revoke {
+namespace {
+
+using alloc::CherivokeAllocator;
+using alloc::CherivokeConfig;
+using cap::Capability;
+
+CherivokeConfig
+smallConfig()
+{
+    CherivokeConfig cfg;
+    cfg.quarantineFraction = 0.25;
+    cfg.minQuarantineBytes = 64;
+    return cfg;
+}
+
+class SweeperTest : public ::testing::Test
+{
+  protected:
+    SweeperTest() : alloc(space, smallConfig()) {}
+
+    /** Allocate and store the capability into globals for later
+     *  retrieval; returns the heap capability. */
+    Capability
+    allocStoredAt(uint64_t slot, uint64_t size)
+    {
+        const Capability c = alloc.malloc(size);
+        space.memory().writeCap(mem::kGlobalsBase + slot * 16, c);
+        return c;
+    }
+
+    Capability
+    loadSlot(uint64_t slot)
+    {
+        return space.memory().readCap(mem::kGlobalsBase + slot * 16);
+    }
+
+    SweepStats
+    runSweep(SweepOptions opts = SweepOptions{})
+    {
+        alloc.prepareSweep();
+        Sweeper sweeper(opts);
+        const SweepStats stats =
+            sweeper.sweep(space, alloc.shadowMap());
+        alloc.finishSweep();
+        return stats;
+    }
+
+    mem::AddressSpace space;
+    CherivokeAllocator alloc;
+};
+
+TEST_F(SweeperTest, DanglingHeapReferenceRevoked)
+{
+    const Capability a = allocStoredAt(0, 64);
+    alloc.free(a);
+    const SweepStats stats = runSweep();
+    EXPECT_EQ(stats.capsRevoked, 1u);
+    EXPECT_FALSE(loadSlot(0).tag()) << "dangling cap must lose tag";
+}
+
+TEST_F(SweeperTest, LiveReferencesSurvive)
+{
+    const Capability keep = allocStoredAt(0, 64);
+    const Capability gone = allocStoredAt(1, 64);
+    alloc.free(gone);
+    runSweep();
+    EXPECT_TRUE(loadSlot(0).tag()) << "live cap must keep its tag";
+    EXPECT_FALSE(loadSlot(1).tag());
+    EXPECT_EQ(loadSlot(0), keep);
+}
+
+TEST_F(SweeperTest, AllCopiesRevoked)
+{
+    // Many copies of the same dangling pointer across segments.
+    const Capability a = alloc.malloc(64);
+    auto &memory = space.memory();
+    memory.writeCap(mem::kGlobalsBase, a);
+    memory.writeCap(mem::kGlobalsBase + 4096, a);
+    memory.writeCap(mem::kStackBase + 128, a);
+    const Capability holder = alloc.malloc(256);
+    memory.storeCap(holder, holder.base() + 16, a);
+    alloc.free(a);
+    const SweepStats stats = runSweep();
+    EXPECT_EQ(stats.capsRevoked, 4u);
+    EXPECT_FALSE(memory.readCap(mem::kGlobalsBase).tag());
+    EXPECT_FALSE(memory.readCap(mem::kGlobalsBase + 4096).tag());
+    EXPECT_FALSE(memory.readCap(mem::kStackBase + 128).tag());
+    EXPECT_FALSE(memory.readCap(holder.base() + 16).tag());
+}
+
+TEST_F(SweeperTest, DerivedAndInteriorCapsRevoked)
+{
+    // Interior pointer: base within the freed allocation (§3.2 fn 2).
+    const Capability a = alloc.malloc(256);
+    const Capability interior =
+        a.setAddress(a.base() + 64).setBounds(32);
+    space.memory().writeCap(mem::kGlobalsBase, interior);
+    // Out-of-bounds wandered address, base still inside.
+    const Capability wandered = a.incAddress(300);
+    ASSERT_TRUE(wandered.tag());
+    space.memory().writeCap(mem::kGlobalsBase + 16, wandered);
+    alloc.free(a);
+    runSweep();
+    EXPECT_FALSE(space.memory().readCap(mem::kGlobalsBase).tag());
+    EXPECT_FALSE(space.memory().readCap(mem::kGlobalsBase + 16).tag());
+}
+
+TEST_F(SweeperTest, RegisterFileSwept)
+{
+    const Capability a = alloc.malloc(64);
+    space.registers().reg(7) = a;
+    space.registers().reg(8) = alloc.malloc(64); // live
+    alloc.free(a);
+    const SweepStats stats = runSweep();
+    EXPECT_EQ(stats.regsRevoked, 1u);
+    EXPECT_FALSE(space.registers().reg(7).tag());
+    EXPECT_TRUE(space.registers().reg(8).tag());
+}
+
+TEST_F(SweeperTest, OnePastEndCapOfPreviousObjectSurvives)
+{
+    // A zero-length capability at one-past-the-end of a live object
+    // has its base in the next chunk's header granule; painting must
+    // not revoke it (payload-only painting).
+    const Capability a = alloc.malloc(48);
+    const Capability b = alloc.malloc(48);
+    const Capability one_past =
+        a.setAddress(static_cast<uint64_t>(a.top())).setBounds(0);
+    ASSERT_TRUE(one_past.tag());
+    space.memory().writeCap(mem::kGlobalsBase, one_past);
+    alloc.free(b); // the *next* allocation is freed
+    runSweep();
+    EXPECT_TRUE(space.memory().readCap(mem::kGlobalsBase).tag())
+        << "live one-past-end cap must survive neighbour's free";
+}
+
+TEST_F(SweeperTest, PteCapDirtySkipsCleanPages)
+{
+    const Capability a = allocStoredAt(0, 64);
+    alloc.free(a);
+    SweepOptions with;
+    with.usePteCapDirty = true;
+    with.useCloadTags = false;
+    const SweepStats s1 = runSweep(with);
+    EXPECT_GT(s1.pagesSkippedPte, 0u);
+    EXPECT_LT(s1.pagesSwept, s1.pagesConsidered);
+}
+
+TEST_F(SweeperTest, EliminationOptionsDoNotChangeOutcome)
+{
+    // Build identical states in four allocators is awkward; instead
+    // verify on one state: revocation results must be identical for
+    // all four option combinations applied to disjoint dangling sets.
+    auto run_combo = [&](bool pte, bool tags) {
+        mem::AddressSpace sp;
+        CherivokeAllocator al(sp, smallConfig());
+        Rng rng(99);
+        std::vector<Capability> live;
+        std::vector<uint64_t> dangling_slots;
+        uint64_t slot = 0;
+        for (int i = 0; i < 200; ++i) {
+            const Capability c = al.malloc(rng.nextLogUniform(16, 512));
+            sp.memory().writeCap(mem::kGlobalsBase + slot * 16, c);
+            if (rng.nextBool(0.4)) {
+                al.free(c);
+                dangling_slots.push_back(slot);
+            } else {
+                live.push_back(c);
+            }
+            ++slot;
+        }
+        al.prepareSweep();
+        SweepOptions opts;
+        opts.usePteCapDirty = pte;
+        opts.useCloadTags = tags;
+        Sweeper sweeper(opts);
+        sweeper.sweep(sp, al.shadowMap());
+        al.finishSweep();
+        // Collect final tag states of all slots.
+        std::vector<bool> result;
+        for (uint64_t s = 0; s < slot; ++s)
+            result.push_back(
+                sp.memory().readCap(mem::kGlobalsBase + s * 16).tag());
+        return result;
+    };
+
+    const auto baseline = run_combo(false, false);
+    EXPECT_EQ(run_combo(true, false), baseline);
+    EXPECT_EQ(run_combo(false, true), baseline);
+    EXPECT_EQ(run_combo(true, true), baseline);
+}
+
+TEST_F(SweeperTest, CloadTagsSkipsPointerFreeLines)
+{
+    // Fill a large allocation with plain data (no capabilities).
+    const Capability big = alloc.malloc(64 * KiB);
+    auto &memory = space.memory();
+    for (uint64_t off = 0; off < 64 * KiB; off += 8)
+        memory.storeU64(big, big.base() + off, off);
+    const Capability a = allocStoredAt(0, 64);
+    alloc.free(a);
+
+    SweepOptions with;
+    with.useCloadTags = true;
+    with.usePteCapDirty = false;
+    const SweepStats s = runSweep(with);
+    EXPECT_GT(s.linesSkippedTags, (64 * KiB) / kLineBytes / 2)
+        << "pointer-free lines must be skipped via CLoadTags";
+}
+
+TEST_F(SweeperTest, FalsePositiveCapDirtyPageCleaned)
+{
+    // Store a capability then overwrite it with data: the page stays
+    // CapDirty but holds no tags. The next sweep should clean it.
+    const Capability a = alloc.malloc(64);
+    auto &memory = space.memory();
+    memory.writeCap(mem::kGlobalsBase + 2 * kPageBytes, a);
+    memory.writeU64(mem::kGlobalsBase + 2 * kPageBytes, 0);
+    ASSERT_TRUE(memory.pageTable()
+                    .lookup(mem::kGlobalsBase + 2 * kPageBytes)
+                    ->capDirty);
+    const Capability dangler = allocStoredAt(0, 64);
+    alloc.free(dangler);
+    const SweepStats s = runSweep();
+    EXPECT_GT(s.pagesCleaned, 0u);
+    EXPECT_FALSE(memory.pageTable()
+                     .lookup(mem::kGlobalsBase + 2 * kPageBytes)
+                     ->capDirty);
+}
+
+TEST_F(SweeperTest, SweepWithHierarchyAccountsTraffic)
+{
+    for (int i = 0; i < 100; ++i)
+        allocStoredAt(static_cast<uint64_t>(i), 128);
+    for (uint64_t s = 0; s < 100; s += 2)
+        alloc.free(loadSlot(s));
+    cache::Hierarchy hier;
+    alloc.prepareSweep();
+    Sweeper sweeper;
+    sweeper.sweep(space, alloc.shadowMap(), &hier);
+    alloc.finishSweep();
+    EXPECT_GT(hier.dram().readBytes(), 0u);
+    EXPECT_GT(hier.offCoreLines(), 0u);
+}
+
+TEST_F(SweeperTest, ParallelSweepMatchesSerial)
+{
+    Rng rng(4242);
+    std::vector<uint64_t> slots;
+    for (int i = 0; i < 400; ++i) {
+        const Capability c =
+            allocStoredAt(static_cast<uint64_t>(i),
+                          rng.nextLogUniform(16, 2048));
+        if (rng.nextBool(0.5)) {
+            alloc.free(c);
+            slots.push_back(static_cast<uint64_t>(i));
+        }
+    }
+    alloc.prepareSweep();
+
+    // Serial reference on a snapshot is impractical; instead sweep in
+    // parallel and verify the semantic postcondition directly.
+    SweepOptions opts;
+    opts.threads = 4;
+    Sweeper sweeper(opts);
+    sweeper.sweep(space, alloc.shadowMap());
+
+    for (uint64_t s = 0; s < 400; ++s) {
+        const Capability c = loadSlot(s);
+        const bool dangling =
+            std::find(slots.begin(), slots.end(), s) != slots.end();
+        EXPECT_EQ(c.tag(), !dangling) << "slot " << s;
+    }
+    alloc.finishSweep();
+}
+
+TEST_F(SweeperTest, RevokerRunsEpochsAutomatically)
+{
+    Revoker revoker(alloc, space);
+    std::vector<Capability> caps;
+    for (int i = 0; i < 64; ++i)
+        caps.push_back(alloc.malloc(1024));
+    for (auto &c : caps) {
+        alloc.free(c);
+        revoker.maybeRevoke();
+    }
+    EXPECT_GT(revoker.totals().epochs, 0u);
+    EXPECT_GT(revoker.totals().bytesReleased, 0u);
+    alloc.dl().validateHeap();
+}
+
+TEST_F(SweeperTest, UseAfterReallocationAttackDefeated)
+{
+    // The figure 1 scenario, end to end: victim object freed, memory
+    // reallocated to attacker data; the stale pointer must trap.
+    auto &memory = space.memory();
+    Revoker revoker(alloc, space);
+
+    Capability victim = alloc.malloc(64);
+    memory.storeU64(victim, victim.base(), 0x600df00d); // "vtable"
+    memory.writeCap(mem::kGlobalsBase, victim);         // stale copy
+
+    alloc.free(victim);
+    // Force a sweep before reallocation (the allocator guarantees
+    // quarantined space is not reissued before this).
+    revoker.revokeNow();
+
+    // Attacker reallocates and fills with a malicious pointer value.
+    Capability attacker = alloc.malloc(64);
+    ASSERT_EQ(attacker.base(), victim.base())
+        << "attacker should obtain the recycled memory";
+    memory.storeU64(attacker, attacker.base(), 0xbadc0de);
+
+    // The stale pointer is now untagged: any use traps.
+    const Capability stale = memory.readCap(mem::kGlobalsBase);
+    EXPECT_FALSE(stale.tag());
+    EXPECT_THROW((void)memory.loadU64(stale, stale.address()),
+                 cap::CapFault);
+}
+
+/** Randomised multi-epoch safety property (the §4.2 guarantee). */
+class SweepSafetyProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(SweepSafetyProperty, NoReachableDanglingCapAfterSweep)
+{
+    mem::AddressSpace space;
+    CherivokeConfig cfg;
+    cfg.quarantineFraction = 0.25;
+    cfg.minQuarantineBytes = 4 * KiB;
+    CherivokeAllocator alloc(space, cfg);
+    Revoker revoker(alloc, space);
+    auto &memory = space.memory();
+    Rng rng(GetParam());
+
+    // Object graph: allocations store capabilities to each other.
+    std::map<uint64_t, Capability> live; // by base
+    std::vector<std::pair<uint64_t, uint64_t>> freed_ranges;
+
+    for (int op = 0; op < 1500; ++op) {
+        const double r = rng.nextDouble();
+        if (r < 0.5 || live.empty()) {
+            const Capability c =
+                alloc.malloc(rng.nextLogUniform(32, 4096));
+            // Link a random live object to the new one and vice versa.
+            if (!live.empty()) {
+                auto it = live.begin();
+                std::advance(it, rng.nextBounded(live.size()));
+                memory.storeCap(it->second, it->second.base(), c);
+                memory.storeCap(c, c.base(), it->second);
+            }
+            // Also stash copies in stack/globals/registers sometimes.
+            if (rng.nextBool(0.3)) {
+                memory.writeCap(mem::kStackBase +
+                                    rng.nextBounded(512) * 16, c);
+            }
+            if (rng.nextBool(0.2)) {
+                memory.writeCap(mem::kGlobalsBase +
+                                    rng.nextBounded(512) * 16, c);
+            }
+            if (rng.nextBool(0.1))
+                space.registers().reg(rng.nextBounded(32)) = c;
+            live.emplace(c.base(), c);
+        } else {
+            auto it = live.begin();
+            std::advance(it, rng.nextBounded(live.size()));
+            freed_ranges.emplace_back(
+                it->second.base(),
+                static_cast<uint64_t>(it->second.top()));
+            alloc.free(it->second);
+            live.erase(it);
+        }
+
+        if (revoker.maybeRevoke()) {
+            // INVARIANT: no tagged capability anywhere has its base
+            // in memory that was freed and has now been released.
+            auto check = [&](const Capability &c, const char *where) {
+                if (!c.tag())
+                    return;
+                for (const auto &[lo, hi] : freed_ranges) {
+                    EXPECT_FALSE(c.base() >= lo && c.base() < hi)
+                        << "dangling cap survived sweep in " << where;
+                }
+            };
+            for (uint64_t s = 0; s < 512; ++s) {
+                check(memory.readCap(mem::kStackBase + s * 16),
+                      "stack");
+                check(memory.readCap(mem::kGlobalsBase + s * 16),
+                      "globals");
+            }
+            space.registers().forEach([&](Capability &c) {
+                check(c, "registers");
+            });
+            for (const auto &[base, c] : live) {
+                const Capability stored =
+                    memory.readCap(c.base());
+                check(stored, "heap object slot");
+                // Live objects themselves must still be reachable.
+                EXPECT_TRUE(c.tag());
+            }
+            freed_ranges.clear();
+        }
+    }
+    alloc.dl().validateHeap();
+    EXPECT_GT(revoker.totals().epochs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepSafetyProperty,
+                         ::testing::Values(7, 77, 777, 7777));
+
+TEST(AnalyticalModel, MatchesPaperExample)
+{
+    // A workload freeing 371 MiB/s with 86% pointer density swept at
+    // 8 GiB/s with a 25% quarantine: overhead ≈ 0.156 — the right
+    // order for xalancbmk's sweeping component.
+    OverheadParams p;
+    p.freeRateBytesPerSec = 371.0 * MiB;
+    p.pointerDensity = 0.86;
+    p.scanRateBytesPerSec = 8.0 * GiB;
+    p.quarantineFraction = 0.25;
+    const double overhead = predictedRuntimeOverhead(p);
+    EXPECT_NEAR(overhead, 0.156, 0.01);
+}
+
+TEST(AnalyticalModel, LinearInFreeRateAndDensity)
+{
+    OverheadParams p;
+    p.freeRateBytesPerSec = 100.0 * MiB;
+    p.pointerDensity = 0.5;
+    p.scanRateBytesPerSec = 8.0 * GiB;
+    p.quarantineFraction = 0.25;
+    const double base = predictedRuntimeOverhead(p);
+    p.freeRateBytesPerSec *= 2;
+    EXPECT_NEAR(predictedRuntimeOverhead(p), 2 * base, 1e-12);
+    p.pointerDensity *= 0.5;
+    EXPECT_NEAR(predictedRuntimeOverhead(p), base, 1e-12);
+    p.quarantineFraction *= 2;
+    EXPECT_NEAR(predictedRuntimeOverhead(p), base / 2, 1e-12);
+}
+
+TEST(AnalyticalModel, SweepPeriodAndDuration)
+{
+    EXPECT_NEAR(sweepPeriodSeconds(100 * MiB, 100.0 * MiB), 1.0,
+                1e-9);
+    EXPECT_NEAR(sweepSeconds(8 * GiB, 8.0 * GiB), 1.0, 1e-9);
+    EXPECT_NEAR(predictedMemoryOverhead(0.25), 0.2578, 0.0001);
+}
+
+} // namespace
+} // namespace revoke
+} // namespace cherivoke
