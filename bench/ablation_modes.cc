@@ -17,7 +17,7 @@
 #include <cstdio>
 
 #include "bench_common.hh"
-#include "revoke/incremental.hh"
+#include "revoke/revocation_engine.hh"
 #include "stats/table.hh"
 #include "support/rng.hh"
 
@@ -139,7 +139,7 @@ strictModeAblation()
         alloc::CherivokeConfig cfg;
         cfg.minQuarantineBytes = 4 * KiB;
         alloc::CherivokeAllocator heap(space, cfg);
-        revoke::Revoker revoker(heap, space);
+        revoke::RevocationEngine revoker(heap, space);
         Rng rng(11);
         std::vector<cap::Capability> live;
         uint64_t frees = 0;
@@ -194,7 +194,11 @@ incrementalAblation()
                             "total ms", "barrier strips"});
     for (const size_t pages_per_step : {4u, 16u, 64u, 0u}) {
         Image image(16 * MiB, /*paint=*/false);
-        revoke::IncrementalRevoker inc(*image.heap, image.space);
+        revoke::RevocationEngine inc(
+            *image.heap, image.space,
+            revoke::EngineConfig{revoke::SweepOptions{},
+                                 revoke::PolicyKind::Incremental,
+                                 64, 1});
         for (size_t i = 0; i < image.live.size(); i += 5)
             image.heap->free(image.live[i]);
         const size_t step_size =

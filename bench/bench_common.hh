@@ -8,7 +8,9 @@
 #define CHERIVOKE_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "support/logging.hh"
 #include "sim/experiment.hh"
 
 namespace cherivoke {
@@ -28,7 +30,16 @@ printSystems(const char *title)
                 "DDR2\n\n");
 }
 
-/** Default experiment configuration used by the figure benches. */
+/**
+ * Default experiment configuration used by the figure benches.
+ *
+ * Every figure driver honours two environment overrides so the whole
+ * suite can be reproduced under any policy × thread-count
+ * combination of the revocation engine:
+ *   CHERIVOKE_POLICY  = stw | stop-the-world | incremental |
+ *                       concurrent
+ *   CHERIVOKE_THREADS = sweep worker count (default 1)
+ */
 inline sim::ExperimentConfig
 defaultConfig()
 {
@@ -38,6 +49,16 @@ defaultConfig()
     cfg.scale = 1.0 / 128;
     cfg.durationSec = 0.4;
     cfg.seed = 42;
+    if (const char *policy = std::getenv("CHERIVOKE_POLICY")) {
+        if (!revoke::parsePolicy(policy, cfg.policy))
+            fatal("unknown CHERIVOKE_POLICY '%s'", policy);
+    }
+    if (const char *threads = std::getenv("CHERIVOKE_THREADS")) {
+        const long n = std::strtol(threads, nullptr, 10);
+        if (n < 1)
+            fatal("bad CHERIVOKE_THREADS '%s'", threads);
+        cfg.threads = static_cast<unsigned>(n);
+    }
     return cfg;
 }
 

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "alloc/cherivoke_alloc.hh"
-#include "revoke/revoker.hh"
+#include "revoke/revocation_engine.hh"
 #include "support/rng.hh"
 
 using namespace cherivoke;
@@ -156,7 +156,7 @@ BM_CherivokeQuarantineFree(benchmark::State &state)
     alloc::CherivokeConfig cfg;
     cfg.minQuarantineBytes = 64 * KiB;
     alloc::CherivokeAllocator alloc(space, cfg);
-    revoke::Revoker revoker(alloc, space);
+    revoke::RevocationEngine revoker(alloc, space);
     for (auto _ : state) {
         const cap::Capability c = alloc.malloc(64);
         alloc.free(c);
@@ -178,7 +178,7 @@ BM_RevocationEpoch(benchmark::State &state)
         alloc::CherivokeConfig cfg;
         cfg.minQuarantineBytes = 16;
         alloc::CherivokeAllocator alloc(space, cfg);
-        revoke::Revoker revoker(alloc, space);
+        revoke::RevocationEngine revoker(alloc, space);
         Rng rng(9);
         std::vector<cap::Capability> caps;
         for (int i = 0; i < static_cast<int>(state.range(0)); ++i)

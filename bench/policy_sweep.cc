@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Revocation-policy sweep: every RevocationEngine policy
+ * (stop-the-world, incremental, concurrent) × sweep thread count,
+ * run over the worst-case allocation-heavy workloads with traffic
+ * modelling on. Reports normalised time, epochs, bounded pauses, and
+ * sweep DRAM traffic, and checks that the threaded sweep's traffic
+ * totals match the serial sweep's (the per-thread traffic logs are
+ * replayed deterministically after the workers join).
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "stats/table.hh"
+
+using namespace cherivoke;
+
+int
+main()
+{
+    bench::printSystems("Policy sweep: RevocationEngine policies x "
+                        "sweep threads");
+
+    const revoke::PolicyKind policies[] = {
+        revoke::PolicyKind::StopTheWorld,
+        revoke::PolicyKind::Incremental,
+        revoke::PolicyKind::Concurrent,
+    };
+    const unsigned thread_counts[] = {1, 2, 4};
+    const char *benchmarks[] = {"xalancbmk", "omnetpp", "povray"};
+
+    stats::TextTable table({"benchmark", "policy", "threads",
+                            "norm time", "epochs", "pauses",
+                            "sweep DRAM KiB", "traffic=1T"});
+
+    // Reference DRAM totals at threads=1, per benchmark x policy.
+    std::map<std::string, uint64_t> reference;
+    bool all_match = true;
+
+    for (const char *name : benchmarks) {
+        const auto &profile = workload::profileFor(name);
+        for (const revoke::PolicyKind policy : policies) {
+            for (const unsigned threads : thread_counts) {
+                sim::ExperimentConfig cfg = bench::defaultConfig();
+                cfg.policy = policy;
+                cfg.threads = threads;
+                cfg.modelTraffic = true;
+                const sim::BenchResult r =
+                    sim::runBenchmark(profile, cfg);
+
+                const uint64_t dram = r.sweepDramBytes;
+                const std::string key =
+                    std::string(name) + "/" +
+                    revoke::policyName(policy);
+                if (threads == 1)
+                    reference[key] = dram;
+                const bool match = reference[key] == dram;
+                all_match = all_match && match;
+
+                table.addRow(
+                    {name, revoke::policyName(policy),
+                     std::to_string(threads),
+                     stats::TextTable::num(r.normalizedTime, 3),
+                     std::to_string(r.run.revoker.epochs),
+                     std::to_string(r.run.revoker.slices),
+                     std::to_string(dram / KiB),
+                     match ? "yes" : "NO"});
+            }
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("pauses = bounded sweep slices (stop-the-world runs "
+                "each epoch as one pause).\ntraffic=1T: threaded "
+                "sweep reproduces the serial sweep's DRAM totals "
+                "exactly.\n");
+    std::printf(all_match ? "OK: all thread counts report identical "
+                            "sweep traffic\n"
+                          : "FAILED: traffic diverged across thread "
+                            "counts\n");
+    return all_match ? 0 : 1;
+}

@@ -40,7 +40,7 @@ main()
         alloc::CherivokeConfig acfg;
         acfg.minQuarantineBytes = 64 * KiB;
         alloc::CherivokeAllocator allocator(space, acfg);
-        revoke::Revoker revoker(allocator, space);
+        revoke::RevocationEngine revoker(allocator, space);
         workload::TraceDriver driver(space, allocator, &revoker);
         const workload::DriverResult run = driver.run(trace);
 

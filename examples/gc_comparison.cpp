@@ -15,7 +15,7 @@
 
 #include "alloc/cherivoke_alloc.hh"
 #include "baseline/boehm_gc.hh"
-#include "revoke/revoker.hh"
+#include "revoke/revocation_engine.hh"
 #include "support/rng.hh"
 
 using namespace cherivoke;
@@ -70,7 +70,7 @@ runCherivoke()
     alloc::CherivokeConfig cfg;
     cfg.minQuarantineBytes = 16;
     alloc::CherivokeAllocator heap(space, cfg);
-    revoke::Revoker revoker(heap, space);
+    revoke::RevocationEngine revoker(heap, space);
     auto &memory = space.memory();
 
     cap::Capability head = heap.malloc(64);

@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "revoke/incremental.hh"
+#include "revoke/revocation_engine.hh"
 #include "support/rng.hh"
 
 using namespace cherivoke;
@@ -23,7 +23,10 @@ main()
     alloc::CherivokeConfig cfg;
     cfg.minQuarantineBytes = 4 * KiB;
     alloc::CherivokeAllocator heap(space, cfg);
-    revoke::IncrementalRevoker revoker(heap, space);
+    revoke::RevocationEngine revoker(
+        heap, space,
+        revoke::EngineConfig{revoke::SweepOptions{},
+                             revoke::PolicyKind::Incremental, 8, 1});
     auto &memory = space.memory();
     Rng rng(1);
 

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "alloc/cherivoke_alloc.hh"
-#include "revoke/revoker.hh"
+#include "revoke/revocation_engine.hh"
 
 using namespace cherivoke;
 
@@ -31,7 +31,7 @@ main()
     alloc::CherivokeAllocator heap(space, cfg);
 
     // 3. The revoker couples the allocator with the memory sweeper.
-    revoke::Revoker revoker(heap, space);
+    revoke::RevocationEngine revoker(heap, space);
 
     // 4. Allocate. The returned capability is bounded to exactly
     //    the 64 requested bytes and tagged valid.

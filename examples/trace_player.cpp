@@ -13,7 +13,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "revoke/revoker.hh"
+#include "revoke/revocation_engine.hh"
 #include "workload/driver.hh"
 #include "workload/synth.hh"
 
@@ -76,7 +76,7 @@ main(int argc, char **argv)
     alloc::CherivokeConfig cfg;
     cfg.minQuarantineBytes = 4 * KiB;
     alloc::CherivokeAllocator allocator(space, cfg);
-    revoke::Revoker revoker(allocator, space);
+    revoke::RevocationEngine revoker(allocator, space);
     workload::TraceDriver driver(space, allocator, &revoker);
     const workload::DriverResult r = driver.run(trace);
 

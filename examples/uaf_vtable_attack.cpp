@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "alloc/cherivoke_alloc.hh"
-#include "revoke/revoker.hh"
+#include "revoke/revocation_engine.hh"
 
 using namespace cherivoke;
 
@@ -74,7 +74,7 @@ attackCherivoke()
     alloc::CherivokeConfig cfg;
     cfg.minQuarantineBytes = 16;
     alloc::CherivokeAllocator heap(space, cfg);
-    revoke::Revoker revoker(heap, space);
+    revoke::RevocationEngine revoker(heap, space);
     auto &memory = space.memory();
 
     cap::Capability victim = heap.malloc(64);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/bitops.hh"
 #include "support/logging.hh"
 
 namespace cherivoke {
@@ -57,22 +58,44 @@ CherivokeAllocator::needsSweep() const
 }
 
 PaintStats
-CherivokeAllocator::prepareSweep()
+CherivokeAllocator::prepareSweep(unsigned paint_shards)
 {
     CHERIVOKE_ASSERT(!epochOpen(),
                      "(prepareSweep with an epoch already open)");
+    CHERIVOKE_ASSERT(paint_shards > 0);
     ++sweeps_;
     // Freeze: this epoch revokes exactly the frees made so far;
     // later frees accumulate in a fresh quarantine for the next one.
     frozen_ = std::move(quarantine_);
     quarantine_ = Quarantine{};
     PaintStats stats;
-    for (const QuarantineRun &run : frozen_.runs()) {
-        // Paint payload granules only; the run's header granule may
-        // legitimately hold the base of a live one-past-the-end
-        // capability of the previous allocation.
-        stats += shadow_.paint(run.addr + kChunkHeader,
-                               run.size - kChunkHeader);
+    // Paint payload granules only; a run's header granule may
+    // legitimately hold the base of a live one-past-the-end
+    // capability of the previous allocation.
+    if (paint_shards == 1) {
+        for (const QuarantineRun &run : frozen_.runs()) {
+            stats += shadow_.paint(run.addr + kChunkHeader,
+                                   run.size - kChunkHeader);
+        }
+        return stats;
+    }
+    for (const QuarantineShard &shard :
+         frozen_.shardedRuns(paint_shards)) {
+        if (shard.runs.empty())
+            continue;
+        // A run starting in this band may extend past its upper
+        // bound; widen the view to the shard's true extent so whole
+        // runs paint through exactly one view.
+        uint64_t hi = shard.hi;
+        for (const QuarantineRun &run : shard.runs)
+            hi = std::max(hi, run.end());
+        ShadowMap::View view =
+            shadow_.view(alignDown(shard.lo, kGranuleBytes),
+                         alignUp(hi, kGranuleBytes));
+        for (const QuarantineRun &run : shard.runs) {
+            stats += view.paint(run.addr + kChunkHeader,
+                                run.size - kChunkHeader);
+        }
     }
     return stats;
 }

@@ -3,8 +3,8 @@
  * dlmalloc_cherivoke (paper §5.2): the public temporal-safety
  * allocator. free() quarantines instead of releasing; when the
  * quarantine reaches a configurable fraction of the live heap a
- * revocation sweep is due. The caller (revoke::Revoker, or a test)
- * drives the prepare → sweep → finish sequence:
+ * revocation sweep is due. The caller (revoke::RevocationEngine, or
+ * a test) drives the prepare → sweep → finish sequence:
  *
  *     if (alloc.needsSweep()) {
  *         alloc.prepareSweep();   // paint the shadow map
@@ -86,9 +86,15 @@ class CherivokeAllocator
      * Frees issued while the epoch is open join a fresh quarantine
      * and are NOT released by this epoch's finishSweep — required
      * for incremental/concurrent revocation (§3.5).
+     *
+     * With @p paint_shards > 1 the revocation set is partitioned
+     * into address bands and each band is painted through its own
+     * shard-restricted shadow-map view. Whole runs stay within one
+     * shard, so the store sequence — and the returned statistics —
+     * are identical for every shard count.
      * @return paint statistics for the cost model
      */
-    PaintStats prepareSweep();
+    PaintStats prepareSweep(unsigned paint_shards = 1);
 
     /** Unpaint and return the *frozen* runs to the free lists.
      *  @return number of internal frees (after aggregation) */

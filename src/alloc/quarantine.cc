@@ -1,5 +1,6 @@
 #include "alloc/quarantine.hh"
 
+#include "support/bitops.hh"
 #include "support/logging.hh"
 
 namespace cherivoke {
@@ -45,6 +46,40 @@ Quarantine::runs() const
     out.reserve(by_start_.size());
     for (const auto &[addr, size] : by_start_)
         out.push_back(QuarantineRun{addr, size});
+    return out;
+}
+
+std::vector<QuarantineShard>
+Quarantine::shardedRuns(size_t shards) const
+{
+    CHERIVOKE_ASSERT(shards > 0);
+    std::vector<QuarantineShard> out;
+    if (by_start_.empty())
+        return out;
+
+    // Granule-aligned address bands over the quarantined span.
+    const uint64_t span_lo = by_start_.begin()->first;
+    const uint64_t span_hi = by_start_.rbegin()->first +
+                             by_start_.rbegin()->second;
+    const uint64_t band =
+        alignUp((span_hi - span_lo + shards - 1) / shards,
+                kGranuleBytes);
+
+    auto it = by_start_.begin();
+    for (size_t s = 0; s < shards; ++s) {
+        QuarantineShard shard;
+        shard.lo = span_lo + s * band;
+        shard.hi = s + 1 == shards
+                       ? std::max(span_hi, shard.lo)
+                       : span_lo + (s + 1) * band;
+        while (it != by_start_.end() && it->first < shard.hi) {
+            shard.runs.push_back(
+                QuarantineRun{it->first, it->second});
+            ++it;
+        }
+        out.push_back(std::move(shard));
+    }
+    CHERIVOKE_ASSERT(it == by_start_.end());
     return out;
 }
 

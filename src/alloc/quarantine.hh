@@ -30,6 +30,21 @@ struct QuarantineRun
     uint64_t end() const { return addr + size; }
 };
 
+/**
+ * One address band of a sharded revocation set: the runs whose start
+ * address falls in [lo, hi), in address order. Sharding keeps whole
+ * runs together (a run starting in a band may extend past its upper
+ * bound), so concatenating the shards reproduces runs() exactly —
+ * painting shard by shard performs the identical store sequence to
+ * an unsharded paint.
+ */
+struct QuarantineShard
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    std::vector<QuarantineRun> runs;
+};
+
 /** The quarantine buffer. */
 class Quarantine
 {
@@ -52,6 +67,13 @@ class Quarantine
 
     /** Runs in address order (deterministic painting order). */
     std::vector<QuarantineRun> runs() const;
+
+    /**
+     * Partition the runs into @p shards address bands for parallel
+     * or per-shard-view painting. Every run appears in exactly one
+     * shard; shards are in address order and may be empty.
+     */
+    std::vector<QuarantineShard> shardedRuns(size_t shards) const;
 
     /**
      * Hand every run back to the allocator's free lists ("internal

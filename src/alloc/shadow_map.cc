@@ -142,6 +142,45 @@ ShadowMap::isRevoked(uint64_t addr) const
     return (byte >> (g & 7)) & 1;
 }
 
+ShadowMap::View
+ShadowMap::view(uint64_t lo, uint64_t hi)
+{
+    return View(*this, lo, hi);
+}
+
+ShadowMap::View::View(ShadowMap &map, uint64_t lo, uint64_t hi)
+    : map_(&map), lo_(lo), hi_(hi)
+{
+    CHERIVOKE_ASSERT(lo <= hi);
+    CHERIVOKE_ASSERT(isAligned(lo, kGranuleBytes) &&
+                         isAligned(hi, kGranuleBytes),
+                     "(shard bounds must be granule aligned)");
+}
+
+std::pair<uint64_t, uint64_t>
+ShadowMap::View::clamp(uint64_t addr, uint64_t size) const
+{
+    const uint64_t lo = std::max(addr, lo_);
+    const uint64_t hi = std::min(addr + size, hi_);
+    if (lo >= hi)
+        return {lo_, 0};
+    return {lo, hi - lo};
+}
+
+PaintStats
+ShadowMap::View::paint(uint64_t addr, uint64_t size)
+{
+    const auto [lo, clamped] = clamp(addr, size);
+    return map_->paint(lo, clamped);
+}
+
+PaintStats
+ShadowMap::View::clear(uint64_t addr, uint64_t size)
+{
+    const auto [lo, clamped] = clamp(addr, size);
+    return map_->clear(lo, clamped);
+}
+
 uint64_t
 ShadowMap::countPainted(uint64_t addr, uint64_t size) const
 {

@@ -1,0 +1,64 @@
+#include "cache/traffic.hh"
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace cache {
+
+void
+TrafficLog::access(uint64_t addr, uint64_t size, bool write)
+{
+    CHERIVOKE_ASSERT(size <= UINT32_MAX);
+    Op op;
+    op.addr = addr;
+    op.size = static_cast<uint32_t>(size);
+    op.kind = OpKind::Access;
+    op.flags = write ? kWrite : 0;
+    ops_.push_back(op);
+}
+
+void
+TrafficLog::cloadTags(uint64_t line_addr, bool region_has_tags,
+                      bool prefetch_if_tagged, bool line_has_tags)
+{
+    Op op;
+    op.addr = line_addr;
+    op.kind = OpKind::CloadTags;
+    op.flags = static_cast<uint8_t>(
+        (region_has_tags ? kRegionHasTags : 0) |
+        (prefetch_if_tagged ? kPrefetch : 0) |
+        (line_has_tags ? kLineHasTags : 0));
+    ops_.push_back(op);
+}
+
+void
+TrafficLog::revocationTagWrite(uint64_t line_addr)
+{
+    Op op;
+    op.addr = line_addr;
+    op.kind = OpKind::TagWrite;
+    ops_.push_back(op);
+}
+
+void
+TrafficLog::replayInto(TrafficSink &sink) const
+{
+    for (const Op &op : ops_) {
+        switch (op.kind) {
+          case OpKind::Access:
+            sink.access(op.addr, op.size, op.flags & kWrite);
+            break;
+          case OpKind::CloadTags:
+            sink.cloadTags(op.addr, op.flags & kRegionHasTags,
+                           op.flags & kPrefetch,
+                           op.flags & kLineHasTags);
+            break;
+          case OpKind::TagWrite:
+            sink.revocationTagWrite(op.addr);
+            break;
+        }
+    }
+}
+
+} // namespace cache
+} // namespace cherivoke

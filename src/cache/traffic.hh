@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Traffic accounting for the sweep path: a sink abstraction over the
+ * modelled cache hierarchy, plus a deterministic record/replay log.
+ *
+ * The cache::Hierarchy is stateful and single-threaded, but the
+ * revocation sweep is embarrassingly parallel (paper §3.5). To model
+ * traffic for a threaded sweep without serialising it, each sweep
+ * worker records its accesses into a private TrafficLog; after the
+ * workers join, the logs are replayed into the hierarchy in worklist
+ * order. Because the page worklist is partitioned into contiguous
+ * index ranges, the replayed access sequence is exactly the sequence
+ * a serial sweep would have issued — so the threaded sweep reports
+ * traffic totals identical to the serial sweep.
+ */
+
+#ifndef CHERIVOKE_CACHE_TRAFFIC_HH
+#define CHERIVOKE_CACHE_TRAFFIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+
+namespace cherivoke {
+namespace cache {
+
+/** Consumer of modelled memory-traffic events. */
+class TrafficSink
+{
+  public:
+    virtual ~TrafficSink() = default;
+
+    /** A data access touching [addr, addr+size). */
+    virtual void access(uint64_t addr, uint64_t size, bool write) = 0;
+
+    /** A CLoadTags request for @p line_addr (§3.4.1). */
+    virtual void cloadTags(uint64_t line_addr, bool region_has_tags,
+                           bool prefetch_if_tagged,
+                           bool line_has_tags) = 0;
+
+    /** The tag-bit clear of a revocation at this line. */
+    virtual void revocationTagWrite(uint64_t line_addr) = 0;
+};
+
+/** Forwards events straight into a Hierarchy (the serial path). */
+class HierarchySink final : public TrafficSink
+{
+  public:
+    explicit HierarchySink(Hierarchy &hierarchy)
+        : hierarchy_(&hierarchy)
+    {}
+
+    void
+    access(uint64_t addr, uint64_t size, bool write) override
+    {
+        hierarchy_->access(addr, size, write);
+    }
+
+    void
+    cloadTags(uint64_t line_addr, bool region_has_tags,
+              bool prefetch_if_tagged, bool line_has_tags) override
+    {
+        hierarchy_->cloadTags(line_addr, region_has_tags,
+                              prefetch_if_tagged, line_has_tags);
+    }
+
+    void
+    revocationTagWrite(uint64_t line_addr) override
+    {
+        hierarchy_->recordRevocationTagWrite(line_addr);
+    }
+
+  private:
+    Hierarchy *hierarchy_;
+};
+
+/**
+ * Records events into a compact per-thread buffer for deterministic
+ * replay after the sweep workers join.
+ */
+class TrafficLog final : public TrafficSink
+{
+  public:
+    void access(uint64_t addr, uint64_t size, bool write) override;
+    void cloadTags(uint64_t line_addr, bool region_has_tags,
+                   bool prefetch_if_tagged,
+                   bool line_has_tags) override;
+    void revocationTagWrite(uint64_t line_addr) override;
+
+    /** Replay every recorded event, in order, into @p sink. */
+    void replayInto(TrafficSink &sink) const;
+
+    size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+    void clear() { ops_.clear(); }
+
+  private:
+    enum class OpKind : uint8_t
+    {
+        Access,
+        CloadTags,
+        TagWrite,
+    };
+
+    /** Flag bits, by op kind. */
+    static constexpr uint8_t kWrite = 1 << 0;         // Access
+    static constexpr uint8_t kRegionHasTags = 1 << 0; // CloadTags
+    static constexpr uint8_t kPrefetch = 1 << 1;      // CloadTags
+    static constexpr uint8_t kLineHasTags = 1 << 2;   // CloadTags
+
+    struct Op
+    {
+        uint64_t addr = 0;
+        uint32_t size = 0;
+        OpKind kind = OpKind::Access;
+        uint8_t flags = 0;
+    };
+
+    std::vector<Op> ops_;
+};
+
+} // namespace cache
+} // namespace cherivoke
+
+#endif // CHERIVOKE_CACHE_TRAFFIC_HH

@@ -1,0 +1,305 @@
+#include "revoke/revocation_engine.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace revoke {
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::StopTheWorld: return "stop-the-world";
+      case PolicyKind::Incremental: return "incremental";
+      case PolicyKind::Concurrent: return "concurrent";
+    }
+    return "unknown";
+}
+
+bool
+parsePolicy(const std::string &name, PolicyKind &out)
+{
+    if (name == "stw" || name == "stop-the-world") {
+        out = PolicyKind::StopTheWorld;
+        return true;
+    }
+    if (name == "incremental") {
+        out = PolicyKind::Incremental;
+        return true;
+    }
+    if (name == "concurrent") {
+        out = PolicyKind::Concurrent;
+        return true;
+    }
+    return false;
+}
+
+bool
+RevocationPolicy::pump(RevocationEngine &engine,
+                       cache::Hierarchy *hierarchy)
+{
+    if (!engine.quarantinePressure())
+        return false;
+    runEpoch(engine, hierarchy);
+    return true;
+}
+
+EpochStats
+RevocationPolicy::runEpoch(RevocationEngine &engine,
+                           cache::Hierarchy *hierarchy)
+{
+    const size_t slice = engine.config().pagesPerSlice;
+    engine.beginEpoch();
+    while (engine.step(slice, hierarchy) > 0) {
+    }
+    engine.finishEpoch();
+    return engine.lastEpoch();
+}
+
+namespace {
+
+/** The paper's measured configuration: when the quarantine fills,
+ *  the world stops and a whole epoch runs as a single pause. */
+class StopTheWorldPolicy final : public RevocationPolicy
+{
+  public:
+    PolicyKind kind() const override
+    {
+        return PolicyKind::StopTheWorld;
+    }
+    const char *name() const override { return "stop-the-world"; }
+    bool needsLoadBarrier() const override { return false; }
+
+    EpochStats
+    runEpoch(RevocationEngine &engine,
+             cache::Hierarchy *hierarchy) override
+    {
+        engine.beginEpoch();
+        engine.step(SIZE_MAX, hierarchy);
+        engine.finishEpoch();
+        return engine.lastEpoch();
+    }
+};
+
+/** §3.5 + Cornucopia load barrier: a full epoch runs at the trigger
+ *  point, but as a sequence of bounded pauses (the base-class
+ *  behaviour exactly). */
+class IncrementalPolicy final : public RevocationPolicy
+{
+  public:
+    PolicyKind kind() const override
+    {
+        return PolicyKind::Incremental;
+    }
+    const char *name() const override { return "incremental"; }
+    bool needsLoadBarrier() const override { return true; }
+};
+
+/** Mutator-assist scheduling: the epoch stays open and every pump
+ *  advances it by one slice, interleaving sweep work with program
+ *  progress. The load barrier keeps this sound. */
+class ConcurrentPolicy final : public RevocationPolicy
+{
+  public:
+    PolicyKind kind() const override
+    {
+        return PolicyKind::Concurrent;
+    }
+    const char *name() const override { return "concurrent"; }
+    bool needsLoadBarrier() const override { return true; }
+
+    bool
+    pump(RevocationEngine &engine,
+         cache::Hierarchy *hierarchy) override
+    {
+        if (!engine.epochOpen()) {
+            if (!engine.quarantinePressure())
+                return false;
+            engine.beginEpoch();
+        }
+        if (engine.step(engine.config().pagesPerSlice, hierarchy) ==
+            0) {
+            engine.finishEpoch();
+            return true;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<RevocationPolicy>
+makePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::StopTheWorld:
+        return std::make_unique<StopTheWorldPolicy>();
+      case PolicyKind::Incremental:
+        return std::make_unique<IncrementalPolicy>();
+      case PolicyKind::Concurrent:
+        return std::make_unique<ConcurrentPolicy>();
+    }
+    panic("unknown policy kind");
+}
+
+RevocationEngine::RevocationEngine(
+    alloc::CherivokeAllocator &allocator, mem::AddressSpace &space,
+    EngineConfig config)
+    : allocator_(&allocator), space_(&space),
+      sweeper_(config.sweep), config_(config),
+      policy_(makePolicy(config.policy))
+{
+    CHERIVOKE_ASSERT(config_.pagesPerSlice > 0);
+    CHERIVOKE_ASSERT(config_.paintShards > 0);
+}
+
+RevocationEngine::RevocationEngine(
+    alloc::CherivokeAllocator &allocator, mem::AddressSpace &space,
+    SweepOptions sweep)
+    : RevocationEngine(allocator, space,
+                       EngineConfig{sweep, PolicyKind::StopTheWorld,
+                                    64, 1})
+{}
+
+RevocationEngine::~RevocationEngine()
+{
+    // Never leave a dangling barrier behind.
+    if (barrier_on_)
+        space_->memory().removeLoadBarrier();
+}
+
+bool
+RevocationEngine::quarantinePressure() const
+{
+    return allocator_->needsSweep();
+}
+
+bool
+RevocationEngine::maybeRevoke(cache::Hierarchy *hierarchy)
+{
+    return policy_->pump(*this, hierarchy);
+}
+
+EpochStats
+RevocationEngine::revokeNow(cache::Hierarchy *hierarchy)
+{
+    if (open_)
+        drain(hierarchy);
+    return policy_->runEpoch(*this, hierarchy);
+}
+
+EpochStats
+RevocationEngine::freeAndRevoke(const cap::Capability &capability,
+                                cache::Hierarchy *hierarchy)
+{
+    allocator_->free(capability);
+    // An open epoch was frozen before this free: drain it, then run
+    // a fresh epoch that covers the allocation just freed.
+    return revokeNow(hierarchy);
+}
+
+EpochStats
+RevocationEngine::drain(cache::Hierarchy *hierarchy)
+{
+    if (open_) {
+        while (step(config_.pagesPerSlice, hierarchy) > 0) {
+        }
+        finishEpoch();
+    }
+    return last_;
+}
+
+void
+RevocationEngine::beginEpoch()
+{
+    CHERIVOKE_ASSERT(!open_, "(epoch already open)");
+    open_ = true;
+    epoch_ = EpochStats{};
+    epoch_.bytesReleased = allocator_->quarantinedBytes();
+
+    // Freeze + paint this epoch's revocation set (sharded shadow-map
+    // views when configured).
+    epoch_.paint = allocator_->prepareSweep(config_.paintShards);
+
+    if (policy_->needsLoadBarrier()) {
+        // The barrier: loads of painted-base capabilities are
+        // stripped. The shadow map is read-only for the duration of
+        // the epoch (later frees wait for the next epoch), so the
+        // predicate is stable.
+        const alloc::ShadowMap &shadow = allocator_->shadowMap();
+        space_->memory().installLoadBarrier([&shadow](uint64_t base) {
+            return shadow.isRevoked(base);
+        });
+        barrier_on_ = true;
+    }
+
+    // Registers first: the mutator continues running out of them.
+    epoch_.sweep +=
+        sweeper_.sweepRegisters(*space_, allocator_->shadowMap());
+
+    worklist_ = sweeper_.buildWorklist(*space_, epoch_.sweep);
+    next_ = 0;
+}
+
+size_t
+RevocationEngine::step(size_t max_pages, cache::Hierarchy *hierarchy)
+{
+    CHERIVOKE_ASSERT(open_, "(step without an open epoch)");
+    if (next_ < worklist_.size() && max_pages > 0) {
+        const size_t end = next_ + std::min(max_pages,
+                                            worklist_.size() - next_);
+        epoch_.sweep += sweeper_.sweepPages(
+            *space_, allocator_->shadowMap(), worklist_, next_, end,
+            hierarchy);
+        next_ = end;
+        ++epoch_.slices;
+    }
+    return worklist_.size() - next_;
+}
+
+void
+RevocationEngine::finishEpoch()
+{
+    CHERIVOKE_ASSERT(open_, "(finish without an open epoch)");
+    CHERIVOKE_ASSERT(next_ == worklist_.size(),
+                     "(worklist not drained: call step() to "
+                     "completion first)");
+    if (barrier_on_) {
+        // The registers once more (they were swept at begin and the
+        // barrier kept them clean, but it is cheap), then the
+        // barrier comes off.
+        epoch_.sweep +=
+            sweeper_.sweepRegisters(*space_, allocator_->shadowMap());
+        space_->memory().removeLoadBarrier();
+        barrier_on_ = false;
+    }
+    epoch_.internalFrees = allocator_->finishSweep();
+    open_ = false;
+    worklist_.clear();
+    next_ = 0;
+
+    ++totals_.epochs;
+    totals_.paint += epoch_.paint;
+    totals_.sweep += epoch_.sweep;
+    totals_.internalFrees += epoch_.internalFrees;
+    totals_.bytesReleased += epoch_.bytesReleased;
+    totals_.slices += epoch_.slices;
+    last_ = epoch_;
+}
+
+EpochStats
+RevocationEngine::revokeIncrementally(size_t pages_per_step,
+                                      cache::Hierarchy *hierarchy)
+{
+    CHERIVOKE_ASSERT(pages_per_step > 0);
+    beginEpoch();
+    while (step(pages_per_step, hierarchy) > 0) {
+    }
+    finishEpoch();
+    return last_;
+}
+
+} // namespace revoke
+} // namespace cherivoke

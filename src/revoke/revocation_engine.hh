@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The unified revocation subsystem: a single RevocationEngine owns
+ * the CHERIvoke epoch protocol (figure 3) — quarantine fills → paint
+ * the shadow map → sweep memory and registers → unpaint → release the
+ * quarantine for reuse — and dispatches its *scheduling* to a
+ * pluggable RevocationPolicy:
+ *
+ *  - stop-the-world: the paper's measured configuration; a full
+ *    epoch runs to completion whenever the quarantine reaches its
+ *    budget.
+ *  - incremental: the §3.5 direction made sound by a Cornucopia-style
+ *    load barrier; an epoch runs as a sequence of bounded pauses, the
+ *    mutator running between pauses.
+ *  - concurrent: epochs stay open across allocator operations; every
+ *    call into the engine advances the open epoch by one slice
+ *    (mutator-assist scheduling), so sweep work interleaves with
+ *    program progress instead of stalling it.
+ *
+ * The engine exposes the epoch building blocks (beginEpoch / step /
+ * finishEpoch) directly, so drivers and tests can interleave sweeping
+ * with mutator work under any barrier-bearing policy.
+ */
+
+#ifndef CHERIVOKE_REVOKE_REVOCATION_ENGINE_HH
+#define CHERIVOKE_REVOKE_REVOCATION_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/cherivoke_alloc.hh"
+#include "revoke/sweeper.hh"
+
+namespace cherivoke {
+namespace revoke {
+
+/** Statistics for one complete revocation epoch. */
+struct EpochStats
+{
+    alloc::PaintStats paint;
+    SweepStats sweep;
+    uint64_t internalFrees = 0;
+    uint64_t bytesReleased = 0;
+    /** Bounded sweep pauses the epoch was divided into. */
+    uint64_t slices = 0;
+};
+
+/** Cumulative statistics across all epochs. */
+struct EngineTotals
+{
+    uint64_t epochs = 0;
+    alloc::PaintStats paint;
+    SweepStats sweep;
+    uint64_t internalFrees = 0;
+    uint64_t bytesReleased = 0;
+    uint64_t slices = 0;
+};
+
+/** Scheduling strategies the engine can dispatch to. */
+enum class PolicyKind
+{
+    StopTheWorld,
+    Incremental,
+    Concurrent,
+};
+
+/** Human-readable policy name ("stop-the-world", ...). */
+const char *policyName(PolicyKind kind);
+
+/**
+ * Parse a policy name ("stw" / "stop-the-world", "incremental",
+ * "concurrent"). @return true and sets @p out on success.
+ */
+bool parsePolicy(const std::string &name, PolicyKind &out);
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    SweepOptions sweep{};
+    PolicyKind policy = PolicyKind::StopTheWorld;
+    /** Pages per bounded pause for incremental/concurrent epochs. */
+    size_t pagesPerSlice = 64;
+    /** Shards the quarantine is split into for painting (per-shard
+     *  shadow-map views; 1 = unsharded). */
+    unsigned paintShards = 1;
+};
+
+class RevocationEngine;
+
+/**
+ * A revocation scheduling policy. Policies drive epochs through the
+ * engine's public building blocks; the engine owns all state.
+ */
+class RevocationPolicy
+{
+  public:
+    virtual ~RevocationPolicy() = default;
+
+    virtual PolicyKind kind() const = 0;
+    virtual const char *name() const = 0;
+
+    /** Epochs opened by this policy run concurrently with the
+     *  mutator and need the load-side revocation barrier. */
+    virtual bool needsLoadBarrier() const = 0;
+
+    /**
+     * React to allocator state: open, advance, or complete epochs as
+     * the policy schedules them. Called by the engine on every
+     * maybeRevoke(). Default: run a full epoch on quarantine
+     * pressure. @return true iff an epoch completed.
+     */
+    virtual bool pump(RevocationEngine &engine,
+                      cache::Hierarchy *hierarchy);
+
+    /** Run one full epoch to completion now (no epoch may be open).
+     *  Default: a sequence of bounded pagesPerSlice pauses. */
+    virtual EpochStats runEpoch(RevocationEngine &engine,
+                                cache::Hierarchy *hierarchy);
+};
+
+/** Instantiate the built-in policy for @p kind. */
+std::unique_ptr<RevocationPolicy> makePolicy(PolicyKind kind);
+
+/**
+ * Couples a CherivokeAllocator with a Sweeper and runs revocation
+ * epochs under the configured policy.
+ */
+class RevocationEngine
+{
+  public:
+    RevocationEngine(alloc::CherivokeAllocator &allocator,
+                     mem::AddressSpace &space,
+                     EngineConfig config = EngineConfig{});
+
+    /** Convenience: stop-the-world with explicit sweep options. */
+    RevocationEngine(alloc::CherivokeAllocator &allocator,
+                     mem::AddressSpace &space, SweepOptions sweep);
+
+    ~RevocationEngine();
+
+    RevocationEngine(const RevocationEngine &) = delete;
+    RevocationEngine &operator=(const RevocationEngine &) = delete;
+
+    /** @name Policy-driven operation */
+    /// @{
+
+    /**
+     * Let the policy react to allocator pressure: run an epoch
+     * (stop-the-world, incremental) or advance the open one by a
+     * slice (concurrent). @return true if an epoch completed
+     */
+    bool maybeRevoke(cache::Hierarchy *hierarchy = nullptr);
+
+    /** Run a full epoch now (drains any open epoch first). Used by a
+     *  strict-UAF mode that sweeps on every free, §3.7. */
+    EpochStats revokeNow(cache::Hierarchy *hierarchy = nullptr);
+
+    /**
+     * Strict use-after-free debugging (§3.7: "CHERI could facilitate
+     * strict use-after-free for debugging if a sweep was performed
+     * on every free"): free the allocation and immediately revoke
+     * every reference to it — not merely before reallocation.
+     * Far more expensive than batched revocation; for debug builds.
+     */
+    EpochStats freeAndRevoke(const cap::Capability &capability,
+                             cache::Hierarchy *hierarchy = nullptr);
+
+    /** Finish any open epoch (no-op when none is open).
+     *  @return the last completed epoch's statistics */
+    EpochStats drain(cache::Hierarchy *hierarchy = nullptr);
+    /// @}
+
+    /** @name Epoch protocol building blocks */
+    /// @{
+
+    /**
+     * Open an epoch: freeze + paint the quarantine (across
+     * config().paintShards shadow-map shards), install the load
+     * barrier if the policy requires one, sweep the registers, build
+     * the page worklist.
+     */
+    void beginEpoch();
+
+    /**
+     * Sweep up to @p max_pages pages of the worklist (one bounded
+     * pause, parallelised across config().sweep.threads workers).
+     * @return pages still remaining in the worklist
+     */
+    size_t step(size_t max_pages,
+                cache::Hierarchy *hierarchy = nullptr);
+
+    /**
+     * Close the epoch: worklist must be drained; sweeps registers
+     * once more if a barrier was active, removes the barrier,
+     * unpaints and releases the frozen quarantine.
+     */
+    void finishEpoch();
+
+    /** Convenience: run one whole epoch in bounded steps. */
+    EpochStats revokeIncrementally(size_t pages_per_step,
+                                   cache::Hierarchy *hierarchy =
+                                       nullptr);
+
+    /** True while an epoch is open. */
+    bool epochOpen() const { return open_; }
+
+    /** Pages remaining in the open epoch's worklist. */
+    size_t pagesRemaining() const { return worklist_.size() - next_; }
+    /// @}
+
+    /** @name Introspection */
+    /// @{
+    /** Quarantine at/over budget (paper: Q >= fraction * heap)? */
+    bool quarantinePressure() const;
+
+    Sweeper &sweeper() { return sweeper_; }
+    RevocationPolicy &policy() { return *policy_; }
+    const EngineConfig &config() const { return config_; }
+    const EngineTotals &totals() const { return totals_; }
+    const EpochStats &lastEpoch() const { return last_; }
+    /// @}
+
+  private:
+    alloc::CherivokeAllocator *allocator_;
+    mem::AddressSpace *space_;
+    Sweeper sweeper_;
+    EngineConfig config_;
+    std::unique_ptr<RevocationPolicy> policy_;
+    EngineTotals totals_;
+    EpochStats last_;
+
+    EpochStats epoch_;
+    bool open_ = false;
+    bool barrier_on_ = false;
+    std::vector<uint64_t> worklist_;
+    size_t next_ = 0;
+};
+
+} // namespace revoke
+} // namespace cherivoke
+
+#endif // CHERIVOKE_REVOKE_REVOCATION_ENGINE_HH

@@ -1,5 +1,6 @@
 #include "revoke/sweeper.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 
@@ -14,6 +15,9 @@ namespace {
 
 /** Modelled CLoadTags round trip (L1 -> L2 -> tag cache, §6.3). */
 constexpr double kCloadTagsCycles = 10.0;
+
+/** The leaf-tag-line region a root-level tag query covers (§3.4.1). */
+constexpr uint64_t kTagRegionBytes = 8 * KiB;
 
 } // namespace
 
@@ -32,6 +36,22 @@ SweepStats::operator+=(const SweepStats &o)
     regsRevoked += o.regsRevoked;
     kernelCycles += o.kernelCycles;
     return *this;
+}
+
+bool
+SweepStats::operator==(const SweepStats &o) const
+{
+    return pagesConsidered == o.pagesConsidered &&
+           pagesSwept == o.pagesSwept &&
+           pagesSkippedPte == o.pagesSkippedPte &&
+           pagesCleaned == o.pagesCleaned &&
+           linesSwept == o.linesSwept &&
+           linesSkippedTags == o.linesSkippedTags &&
+           capsExamined == o.capsExamined &&
+           capsRevoked == o.capsRevoked &&
+           regsExamined == o.regsExamined &&
+           regsRevoked == o.regsRevoked &&
+           kernelCycles == o.kernelCycles;
 }
 
 std::vector<uint64_t>
@@ -83,44 +103,97 @@ Sweeper::sweep(mem::AddressSpace &space,
 {
     SweepStats stats;
     const std::vector<uint64_t> pages = buildWorklist(space, stats);
-
-    if (options_.threads <= 1 || pages.size() < 2) {
-        stats += sweepPageList(space, shadow, pages, hierarchy);
-    } else {
-        // Partition the page list into contiguous slices (§3.5).
-        // Traffic modelling is meaningful only serially.
-        const unsigned n = options_.threads;
-        std::vector<SweepStats> partial(n);
-        std::vector<std::thread> workers;
-        const size_t per = (pages.size() + n - 1) / n;
-        for (unsigned t = 0; t < n; ++t) {
-            const size_t lo = std::min(pages.size(), t * per);
-            const size_t hi = std::min(pages.size(), lo + per);
-            workers.emplace_back([&, t, lo, hi] {
-                const std::vector<uint64_t> slice(
-                    pages.begin() + static_cast<long>(lo),
-                    pages.begin() + static_cast<long>(hi));
-                partial[t] =
-                    sweepPageList(space, shadow, slice, nullptr);
-            });
-        }
-        for (auto &w : workers)
-            w.join();
-        for (const auto &p : partial)
-            stats += p;
-    }
-
+    stats += sweepPages(space, shadow, pages, 0, pages.size(),
+                        hierarchy);
     // Sweep the register file (§3.3: "the stack, register files...").
     stats += sweepRegisters(space, shadow);
     return stats;
 }
 
 SweepStats
-Sweeper::sweepPageList(mem::AddressSpace &space,
-                       const alloc::ShadowMap &shadow,
-                       const std::vector<uint64_t> &pages,
-                       cache::Hierarchy *hierarchy)
+Sweeper::sweepPages(mem::AddressSpace &space,
+                    const alloc::ShadowMap &shadow,
+                    const std::vector<uint64_t> &pages,
+                    size_t lo, size_t hi,
+                    cache::Hierarchy *hierarchy)
 {
+    CHERIVOKE_ASSERT(lo <= hi && hi <= pages.size());
+    const size_t count = hi - lo;
+
+    if (options_.threads <= 1 || count < 2) {
+        if (hierarchy) {
+            cache::HierarchySink sink(*hierarchy);
+            return sweepPageRange(space, shadow, pages, lo, hi,
+                                  &sink);
+        }
+        return sweepPageRange(space, shadow, pages, lo, hi, nullptr);
+    }
+
+    // Partition [lo, hi) into contiguous index ranges (§3.5). Snap
+    // each boundary forward so the two pages of an 8 KiB
+    // leaf-tag-line region are never split across workers: the
+    // CLoadTags root query reads the region's page tag counts, and
+    // co-locating a region keeps every such read deterministic
+    // (either the worker's own sequential progress or a page no
+    // worker mutates).
+    const unsigned n = static_cast<unsigned>(
+        std::min<size_t>(options_.threads, count));
+    std::vector<size_t> bounds;
+    bounds.push_back(lo);
+    const size_t per = (count + n - 1) / n;
+    for (unsigned t = 1; t < n; ++t) {
+        size_t b = std::min(hi, lo + t * per);
+        while (b > bounds.back() && b < hi &&
+               alignDown(pages[b], kTagRegionBytes) ==
+                   alignDown(pages[b - 1], kTagRegionBytes)) {
+            ++b;
+        }
+        b = std::max(b, bounds.back());
+        bounds.push_back(b);
+    }
+    bounds.push_back(hi);
+
+    const size_t workers = bounds.size() - 1;
+    std::vector<SweepStats> partial(workers);
+    std::vector<cache::TrafficLog> logs(hierarchy ? workers : 0);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t t = 0; t < workers; ++t) {
+        cache::TrafficSink *sink = hierarchy ? &logs[t] : nullptr;
+        const size_t wlo = bounds[t], whi = bounds[t + 1];
+        pool.emplace_back([this, &space, &shadow, &pages, &partial,
+                           sink, t, wlo, whi] {
+            // The shadow map is read-only for the whole sweep, so
+            // workers share it safely.
+            partial[t] = sweepPageRange(space, shadow, pages, wlo,
+                                        whi, sink);
+        });
+    }
+    for (auto &w : pool)
+        w.join();
+
+    // Merge in worklist order: statistics first, then the recorded
+    // traffic, replayed into the hierarchy exactly as a serial sweep
+    // would have issued it.
+    SweepStats stats;
+    for (const SweepStats &p : partial)
+        stats += p;
+    if (hierarchy) {
+        cache::HierarchySink live(*hierarchy);
+        for (const cache::TrafficLog &log : logs)
+            log.replayInto(live);
+    }
+    return stats;
+}
+
+SweepStats
+Sweeper::sweepPageRange(mem::AddressSpace &space,
+                        const alloc::ShadowMap &shadow,
+                        const std::vector<uint64_t> &pages,
+                        size_t lo, size_t hi,
+                        cache::TrafficSink *sink)
+{
+    CHERIVOKE_ASSERT(lo <= hi && hi <= pages.size());
     SweepStats stats;
     auto &memory = space.memory();
     auto &pt = memory.pageTable();
@@ -128,12 +201,13 @@ Sweeper::sweepPageList(mem::AddressSpace &space,
 
     // Root-level tag presence for the 8 KiB leaf-tag-line region.
     auto region_has_tags = [&](uint64_t line) {
-        const uint64_t region = alignDown(line, 8 * KiB);
+        const uint64_t region = alignDown(line, kTagRegionBytes);
         return memory.pageTagCount(region) > 0 ||
                memory.pageTagCount(region + kPageBytes) > 0;
     };
 
-    for (const uint64_t page_addr : pages) {
+    for (size_t idx = lo; idx < hi; ++idx) {
+        const uint64_t page_addr = pages[idx];
         ++stats.pagesSwept;
         mem::Page *page = memory.pageIfPresentMutable(page_addr);
         bool any_tag_found = false;
@@ -153,10 +227,10 @@ Sweeper::sweepPageList(mem::AddressSpace &space,
 
             if (options_.useCloadTags) {
                 stats.kernelCycles += kCloadTagsCycles;
-                if (hierarchy) {
-                    hierarchy->cloadTags(line, region_has_tags(line),
-                                         options_.cloadTagsPrefetch,
-                                         mask != 0);
+                if (sink) {
+                    sink->cloadTags(line, region_has_tags(line),
+                                    options_.cloadTagsPrefetch,
+                                    mask != 0);
                 }
                 if (mask == 0) {
                     ++stats.linesSkippedTags;
@@ -168,8 +242,8 @@ Sweeper::sweepPageList(mem::AddressSpace &space,
             any_tag_found |= mask != 0;
             stats.kernelCycles +=
                 kernelCyclesForLine(costs, popCount(mask));
-            if (hierarchy)
-                hierarchy->access(line, kLineBytes, false);
+            if (sink)
+                sink->access(line, kLineBytes, false);
             if (mask == 0)
                 continue;
 
@@ -179,15 +253,14 @@ Sweeper::sweepPageList(mem::AddressSpace &space,
                     continue;
                 ++stats.capsExamined;
                 const uint64_t addr = line + i * kCapBytes;
-                uint64_t lo, hi;
+                uint64_t lo_word, hi_word;
                 const uint64_t off = addr & (kPageBytes - 1);
-                std::memcpy(&lo, page->data.data() + off, 8);
-                std::memcpy(&hi, page->data.data() + off + 8, 8);
+                std::memcpy(&lo_word, page->data.data() + off, 8);
+                std::memcpy(&hi_word, page->data.data() + off + 8, 8);
                 const uint64_t base =
-                    cap::Capability::decodeBase(lo, hi);
-                if (hierarchy) {
-                    hierarchy->access(mem::shadowAddrOf(base), 1,
-                                      false);
+                    cap::Capability::decodeBase(lo_word, hi_word);
+                if (sink) {
+                    sink->access(mem::shadowAddrOf(base), 1, false);
                 }
                 if (shadow.isRevoked(base)) {
                     memory.clearTagAt(addr);
@@ -195,9 +268,9 @@ Sweeper::sweepPageList(mem::AddressSpace &space,
                     revoked_in_line = true;
                 }
             }
-            if (revoked_in_line && hierarchy) {
-                hierarchy->access(line, kLineBytes, true);
-                hierarchy->recordRevocationTagWrite(line);
+            if (revoked_in_line && sink) {
+                sink->access(line, kLineBytes, true);
+                sink->revocationTagWrite(line);
             }
         }
 

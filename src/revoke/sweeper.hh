@@ -11,18 +11,25 @@
  *  - CLoadTags (§3.4.1): lines whose 4-bit tag mask is zero are
  *    skipped without fetching their data from DRAM.
  *
- * The sweep is embarrassingly parallel (§3.5): the page list is
- * partitioned across threads; the shadow map is read-only during the
- * sweep and tag clears are confined to each thread's partition.
+ * The sweep is embarrassingly parallel (§3.5): the page worklist is
+ * partitioned into contiguous index ranges, one per thread; the
+ * shadow map is read-only for the duration, and each worker records
+ * its modelled traffic into a private cache::TrafficLog.
+ * After the join, the logs are replayed into the hierarchy in
+ * worklist order, so a threaded sweep reports cache/DRAM traffic
+ * identical to the serial sweep. Partition boundaries are snapped to
+ * 8 KiB leaf-tag-line regions so that no worker ever observes another
+ * worker's in-flight tag clears.
  */
 
 #ifndef CHERIVOKE_REVOKE_SWEEPER_HH
 #define CHERIVOKE_REVOKE_SWEEPER_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "alloc/shadow_map.hh"
-#include "cache/hierarchy.hh"
+#include "cache/traffic.hh"
 #include "mem/addr_space.hh"
 #include "revoke/sweep_loop.hh"
 
@@ -72,6 +79,8 @@ struct SweepStats
     }
 
     SweepStats &operator+=(const SweepStats &o);
+    bool operator==(const SweepStats &o) const;
+    bool operator!=(const SweepStats &o) const { return !(*this == o); }
 };
 
 /** The sweeping engine. */
@@ -91,13 +100,14 @@ class Sweeper
      *              registers)
      * @param shadow the painted revocation shadow map
      * @param hierarchy optional cache/DRAM model for traffic
-     *        accounting (single-threaded sweeps only)
+     *        accounting (threaded sweeps record per worker and
+     *        replay deterministically after the join)
      */
     SweepStats sweep(mem::AddressSpace &space,
                      const alloc::ShadowMap &shadow,
                      cache::Hierarchy *hierarchy = nullptr);
 
-    /** @name Incremental-epoch building blocks (§3.5) */
+    /** @name Epoch building blocks (§3.5) */
     /// @{
 
     /**
@@ -107,11 +117,28 @@ class Sweeper
     std::vector<uint64_t> buildWorklist(mem::AddressSpace &space,
                                         SweepStats &stats) const;
 
-    /** Sweep an explicit page list (one increment of an epoch). */
-    SweepStats sweepPageList(mem::AddressSpace &space,
-                             const alloc::ShadowMap &shadow,
-                             const std::vector<uint64_t> &pages,
-                             cache::Hierarchy *hierarchy = nullptr);
+    /**
+     * Sweep the index range [lo, hi) of @p pages across
+     * options().threads workers (one increment of an epoch). Traffic
+     * is accounted into @p hierarchy with totals independent of the
+     * thread count.
+     */
+    SweepStats sweepPages(mem::AddressSpace &space,
+                          const alloc::ShadowMap &shadow,
+                          const std::vector<uint64_t> &pages,
+                          size_t lo, size_t hi,
+                          cache::Hierarchy *hierarchy = nullptr);
+
+    /**
+     * Serially sweep the index range [lo, hi) of @p pages, reporting
+     * modelled traffic to @p sink (nullable). The single-worker
+     * kernel; thread-safe for disjoint page ranges.
+     */
+    SweepStats sweepPageRange(mem::AddressSpace &space,
+                              const alloc::ShadowMap &shadow,
+                              const std::vector<uint64_t> &pages,
+                              size_t lo, size_t hi,
+                              cache::TrafficSink *sink = nullptr);
 
     /** Sweep the capability register file. */
     SweepStats sweepRegisters(mem::AddressSpace &space,

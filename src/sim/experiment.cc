@@ -90,12 +90,14 @@ runBenchmark(const workload::BenchmarkProfile &profile,
     acfg.dl.initialHeapBytes = 1 * MiB;
     acfg.dl.growthChunkBytes = 512 * KiB;
     alloc::CherivokeAllocator allocator(space, acfg);
-    revoke::SweepOptions sweep_opts;
-    sweep_opts.kernel = config.kernel;
-    sweep_opts.usePteCapDirty = config.usePteCapDirty;
-    sweep_opts.useCloadTags = config.useCloadTags;
-    sweep_opts.threads = config.threads;
-    revoke::Revoker revoker(allocator, space, sweep_opts);
+    revoke::EngineConfig engine_cfg;
+    engine_cfg.sweep.kernel = config.kernel;
+    engine_cfg.sweep.usePteCapDirty = config.usePteCapDirty;
+    engine_cfg.sweep.useCloadTags = config.useCloadTags;
+    engine_cfg.sweep.threads = config.threads;
+    engine_cfg.policy = config.policy;
+    engine_cfg.pagesPerSlice = config.pagesPerSlice;
+    revoke::RevocationEngine revoker(allocator, space, engine_cfg);
     std::unique_ptr<cache::Hierarchy> hierarchy;
     if (config.modelTraffic) {
         hierarchy = std::make_unique<cache::Hierarchy>(
@@ -119,6 +121,7 @@ runBenchmark(const workload::BenchmarkProfile &profile,
     const uint64_t dram_bytes =
         hierarchy ? hierarchy->dram().totalBytes()
                   : approxSweepDramBytes(run.revoker.sweep);
+    result.sweepDramBytes = dram_bytes;
     const double sweep_secs =
         sweepSeconds(machine, run.revoker.sweep, dram_bytes,
                      run.revoker.epochs, config.scale);

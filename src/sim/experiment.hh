@@ -45,6 +45,10 @@ struct ExperimentConfig
     bool usePteCapDirty = true; //!< modelled in the x86 runs (§5.3)
     bool useCloadTags = false;  //!< not modelled on x86 (§5.3)
     unsigned threads = 1;
+    /** Epoch scheduling policy the revocation engine dispatches to. */
+    revoke::PolicyKind policy = revoke::PolicyKind::StopTheWorld;
+    /** Pages per bounded pause (incremental/concurrent policies). */
+    size_t pagesPerSlice = 64;
     double scale = 1.0 / 64;
     double durationSec = 1.5;
     uint64_t seed = 42;
@@ -79,6 +83,9 @@ struct BenchResult
     double achievedScanRate = 0;
     /** Figure 10: sweep off-core traffic / app traffic (percent). */
     double trafficOverheadPct = 0;
+    /** Sweep DRAM traffic: modelled hierarchy totals when
+     *  modelTraffic is on, the shared approximation otherwise. */
+    uint64_t sweepDramBytes = 0;
 };
 
 /** Run one benchmark profile under one configuration. */

@@ -62,6 +62,23 @@ TraceDriver::run(const Trace &trace, cache::Hierarchy *hierarchy)
             result.peakFootprintBytes, alloc_->footprintBytes());
     };
 
+    // Pump the engine after an allocator operation: stop-the-world
+    // and incremental policies run a whole epoch when the quarantine
+    // budget fills; the concurrent policy advances its open epoch by
+    // one slice. Densities are sampled whenever an epoch is about to
+    // open, as the paper samples its core dumps (§5.3).
+    auto pump_engine = [&]() {
+        if (!engine_)
+            return;
+        if (!engine_->epochOpen() && alloc_->needsSweep()) {
+            const DensitySample d = measureDensities(*space_);
+            page_density_acc += d.pageDensity;
+            line_density_acc += d.lineDensity;
+            ++result.densitySamples;
+        }
+        engine_->maybeRevoke(hierarchy);
+    };
+
     for (const TraceOp &op : trace.ops) {
         result.virtualSeconds += op.dt;
         switch (op.kind) {
@@ -73,6 +90,7 @@ TraceDriver::run(const Trace &trace, cache::Hierarchy *hierarchy)
             memory.fill(c.base(), 0, alloc_->usableSize(c.base()));
             objects.emplace(op.id, c);
             ++result.allocCalls;
+            pump_engine();
             break;
           }
           case OpKind::Free: {
@@ -84,16 +102,7 @@ TraceDriver::run(const Trace &trace, cache::Hierarchy *hierarchy)
             alloc_->free(it->second);
             objects.erase(it);
             ++result.freeCalls;
-            // Sweep when the quarantine budget fills. Sample
-            // densities at sweep points, as the paper samples its
-            // core dumps (§5.3).
-            if (revoker_ && alloc_->needsSweep()) {
-                const DensitySample d = measureDensities(*space_);
-                page_density_acc += d.pageDensity;
-                line_density_acc += d.lineDensity;
-                ++result.densitySamples;
-                revoker_->maybeRevoke(hierarchy);
-            }
+            pump_engine();
             break;
           }
           case OpKind::StorePtr: {
@@ -142,6 +151,11 @@ TraceDriver::run(const Trace &trace, cache::Hierarchy *hierarchy)
         track_peaks();
     }
 
+    // A concurrent-policy epoch may still be open: drain it so the
+    // run's revocation totals are complete.
+    if (engine_ && engine_->epochOpen())
+        engine_->drain(hierarchy);
+
     if (result.densitySamples > 0) {
         result.pageDensity =
             page_density_acc / result.densitySamples;
@@ -162,8 +176,8 @@ TraceDriver::run(const Trace &trace, cache::Hierarchy *hierarchy)
             static_cast<double>(result.freeCalls) /
             result.virtualSeconds;
     }
-    if (revoker_)
-        result.revoker = revoker_->totals();
+    if (engine_)
+        result.revoker = engine_->totals();
     return result;
 }
 

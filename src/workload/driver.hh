@@ -14,7 +14,7 @@
 
 #include "alloc/cherivoke_alloc.hh"
 #include "cache/hierarchy.hh"
-#include "revoke/revoker.hh"
+#include "revoke/revocation_engine.hh"
 #include "workload/trace.hh"
 
 namespace cherivoke {
@@ -53,31 +53,34 @@ struct DriverResult
     double lineDensity = 0;
     uint64_t densitySamples = 0;
 
-    revoke::RevokerTotals revoker;
+    revoke::EngineTotals revoker;
 };
 
-/** Replays traces against an allocator + revoker. */
+/** Replays traces against an allocator + revocation engine. */
 class TraceDriver
 {
   public:
     /**
-     * @param revoker nullable: without it, frees quarantine but no
+     * @param engine nullable: without it, frees quarantine but no
      *        sweeps run (the fig. 6 "quarantine only" configuration)
      */
     TraceDriver(mem::AddressSpace &space,
                 alloc::CherivokeAllocator &allocator,
-                revoke::Revoker *revoker)
-        : space_(&space), alloc_(&allocator), revoker_(revoker)
+                revoke::RevocationEngine *engine)
+        : space_(&space), alloc_(&allocator), engine_(engine)
     {}
 
-    /** Replay @p trace; optionally model traffic via @p hierarchy. */
+    /** Replay @p trace; optionally model traffic via @p hierarchy.
+     *  Pumps the engine after every allocator operation so that
+     *  concurrent-policy epochs interleave with trace progress; any
+     *  epoch still open at end of trace is drained. */
     DriverResult run(const Trace &trace,
                      cache::Hierarchy *hierarchy = nullptr);
 
   private:
     mem::AddressSpace *space_;
     alloc::CherivokeAllocator *alloc_;
-    revoke::Revoker *revoker_;
+    revoke::RevocationEngine *engine_;
 };
 
 } // namespace workload

@@ -17,7 +17,7 @@
 #include "baseline/psweeper.hh"
 #include "baseline/published.hh"
 #include "stats/summary.hh"
-#include "revoke/revoker.hh"
+#include "revoke/revocation_engine.hh"
 #include "support/logging.hh"
 
 namespace cherivoke {
@@ -179,7 +179,7 @@ TEST(CherivokeVsDangSan, CherivokeCatchesHiddenPointerCopies)
     alloc::CherivokeConfig cfg;
     cfg.minQuarantineBytes = 16;
     alloc::CherivokeAllocator alloc(space, cfg);
-    revoke::Revoker revoker(alloc, space);
+    revoke::RevocationEngine revoker(alloc, space);
     auto &memory = space.memory();
 
     const Capability a = alloc.malloc(64);

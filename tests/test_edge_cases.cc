@@ -13,7 +13,7 @@
 #include "alloc/cherivoke_alloc.hh"
 #include "cache/hierarchy.hh"
 #include "revoke/analytical_model.hh"
-#include "revoke/incremental.hh"
+#include "revoke/revocation_engine.hh"
 #include "support/logging.hh"
 #include "workload/trace.hh"
 

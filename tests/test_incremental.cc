@@ -11,7 +11,7 @@
 #include <set>
 
 #include "alloc/cherivoke_alloc.hh"
-#include "revoke/incremental.hh"
+#include "revoke/revocation_engine.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 
@@ -31,16 +31,25 @@ tinyConfig()
     return cfg;
 }
 
+EngineConfig
+incrementalConfig()
+{
+    EngineConfig cfg;
+    cfg.policy = PolicyKind::Incremental;
+    return cfg;
+}
+
 class IncrementalTest : public ::testing::Test
 {
   protected:
     IncrementalTest()
-        : heap(space, tinyConfig()), inc(heap, space)
+        : heap(space, tinyConfig()),
+          inc(heap, space, incrementalConfig())
     {}
 
     mem::AddressSpace space;
     CherivokeAllocator heap;
-    IncrementalRevoker inc;
+    RevocationEngine inc;
 };
 
 TEST_F(IncrementalTest, WholeEpochRevokesDanglers)
@@ -210,7 +219,7 @@ TEST_P(IncrementalSoak, NoDanglingCapSurvivesInterleavedEpochs)
     CherivokeConfig cfg;
     cfg.minQuarantineBytes = 2 * KiB;
     CherivokeAllocator heap(space, cfg);
-    IncrementalRevoker inc(heap, space);
+    RevocationEngine inc(heap, space, incrementalConfig());
     auto &memory = space.memory();
     Rng rng(GetParam());
 

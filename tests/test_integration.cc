@@ -12,7 +12,7 @@
 #include "alloc/cherivoke_alloc.hh"
 #include "baseline/dangsan.hh"
 #include "cache/hierarchy.hh"
-#include "revoke/revoker.hh"
+#include "revoke/revocation_engine.hh"
 #include "sim/experiment.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
@@ -43,7 +43,7 @@ TEST(StrictMode, RevokesBeforeAnyReallocation)
 {
     mem::AddressSpace space;
     CherivokeAllocator heap(space, tinyConfig());
-    revoke::Revoker revoker(heap, space);
+    revoke::RevocationEngine revoker(heap, space);
     auto &memory = space.memory();
 
     const Capability a = heap.malloc(64);
@@ -58,7 +58,7 @@ TEST(StrictMode, OneSweepPerFree)
 {
     mem::AddressSpace space;
     CherivokeAllocator heap(space, tinyConfig());
-    revoke::Revoker revoker(heap, space);
+    revoke::RevocationEngine revoker(heap, space);
     for (int i = 0; i < 10; ++i)
         revoker.freeAndRevoke(heap.malloc(64));
     EXPECT_EQ(revoker.totals().epochs, 10u);
@@ -68,7 +68,7 @@ TEST(StrictMode, HeapStaysValid)
 {
     mem::AddressSpace space;
     CherivokeAllocator heap(space, tinyConfig());
-    revoke::Revoker revoker(heap, space);
+    revoke::RevocationEngine revoker(heap, space);
     Rng rng(3);
     std::vector<Capability> live;
     for (int i = 0; i < 300; ++i) {
@@ -172,7 +172,7 @@ TEST(Forgery, RevokedCapabilityCannotBeRelaunched)
 {
     mem::AddressSpace space;
     CherivokeAllocator heap(space, tinyConfig());
-    revoke::Revoker revoker(heap, space);
+    revoke::RevocationEngine revoker(heap, space);
     auto &memory = space.memory();
     const Capability a = heap.malloc(64);
     memory.writeCap(mem::kGlobalsBase, a);
@@ -218,7 +218,7 @@ TEST(ReallocEpochs, GrowingVectorSurvivesManyEpochs)
     CherivokeConfig cfg;
     cfg.minQuarantineBytes = 1024;
     CherivokeAllocator heap(space, cfg);
-    revoke::Revoker revoker(heap, space);
+    revoke::RevocationEngine revoker(heap, space);
     auto &memory = space.memory();
 
     // Simulate std::vector-style growth with live contents.
@@ -276,7 +276,7 @@ TEST(FailureInjection, DoubleFreeAcrossEpochStillCaught)
 {
     mem::AddressSpace space;
     CherivokeAllocator heap(space, tinyConfig());
-    revoke::Revoker revoker(heap, space);
+    revoke::RevocationEngine revoker(heap, space);
     const Capability a = heap.malloc(64);
     heap.free(a);
     revoker.revokeNow();
@@ -289,7 +289,7 @@ TEST(FailureInjection, SweepWithEmptyQuarantineIsANoop)
 {
     mem::AddressSpace space;
     CherivokeAllocator heap(space, tinyConfig());
-    revoke::Revoker revoker(heap, space);
+    revoke::RevocationEngine revoker(heap, space);
     const Capability keep = heap.malloc(64);
     space.memory().writeCap(mem::kGlobalsBase, keep);
     const revoke::EpochStats epoch = revoker.revokeNow();
@@ -305,7 +305,7 @@ TEST(FailureInjection, HeapGrowthUnderPressure)
     cfg.dl.initialHeapBytes = 256 * KiB;
     cfg.dl.growthChunkBytes = 256 * KiB;
     CherivokeAllocator heap(space, cfg);
-    revoke::Revoker revoker(heap, space);
+    revoke::RevocationEngine revoker(heap, space);
     // Allocate far beyond the initial mapping, with frees held in
     // quarantine (which delays reuse and forces more growth).
     std::vector<Capability> live;
@@ -353,7 +353,7 @@ TEST(Determinism, ReplayTwiceSameMeasurements)
         CherivokeConfig acfg;
         acfg.minQuarantineBytes = 64 * KiB;
         CherivokeAllocator heap(space, acfg);
-        revoke::Revoker revoker(heap, space);
+        revoke::RevocationEngine revoker(heap, space);
         workload::TraceDriver driver(space, heap, &revoker);
         return driver.run(trace);
     };

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <set>
 
 #include "alloc/cherivoke_alloc.hh"
@@ -245,6 +246,129 @@ TEST_F(CherivokeAllocTest, QuarantinedMemoryNeverReissuedProperty)
             quarantined.clear();
         }
     }
+}
+
+/** Fixture for run-merging edge cases: four adjacent chunks plus a
+ *  guard, freed in controlled orders. */
+class QuarantineMergeTest : public ::testing::Test
+{
+  protected:
+    QuarantineMergeTest() : dl(space)
+    {
+        for (auto &c : chunks)
+            c = dl.malloc(64);
+        (void)dl.malloc(64); // guard against the heap top
+    }
+
+    void
+    add(size_t idx)
+    {
+        const auto q = dl.quarantineFree(chunks[idx]);
+        sizes[idx] = q.size;
+        quarantine.add(dl, q.addr, q.size);
+    }
+
+    mem::AddressSpace space;
+    DlAllocator dl;
+    Quarantine quarantine;
+    std::array<Capability, 4> chunks;
+    std::array<uint64_t, 4> sizes{};
+};
+
+TEST_F(QuarantineMergeTest, MergeLeft)
+{
+    add(0);
+    add(1); // merges with the run ending where it starts
+    EXPECT_EQ(quarantine.runCount(), 1u);
+    EXPECT_EQ(quarantine.merges(), 1u);
+    EXPECT_EQ(quarantine.totalBytes(), sizes[0] + sizes[1]);
+    const auto runs = quarantine.runs();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].size, sizes[0] + sizes[1]);
+}
+
+TEST_F(QuarantineMergeTest, MergeRight)
+{
+    add(1);
+    add(0); // merges with the run starting where it ends
+    EXPECT_EQ(quarantine.runCount(), 1u);
+    EXPECT_EQ(quarantine.merges(), 1u);
+    const auto runs = quarantine.runs();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].size, sizes[0] + sizes[1]);
+}
+
+TEST_F(QuarantineMergeTest, MergeBoth)
+{
+    add(0);
+    add(2);
+    ASSERT_EQ(quarantine.runCount(), 2u);
+    add(1); // bridges both neighbours in one add
+    EXPECT_EQ(quarantine.runCount(), 1u);
+    EXPECT_EQ(quarantine.merges(), 2u);
+    const auto runs = quarantine.runs();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].size, sizes[0] + sizes[1] + sizes[2]);
+    EXPECT_EQ(quarantine.totalBytes(), runs[0].size);
+}
+
+TEST_F(QuarantineMergeTest, NonAdjacentStaySeparate)
+{
+    add(0);
+    add(2);
+    EXPECT_EQ(quarantine.runCount(), 2u);
+    EXPECT_EQ(quarantine.merges(), 0u);
+    const auto runs = quarantine.runs();
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_LT(runs[0].end(), runs[1].addr);
+}
+
+TEST_F(QuarantineMergeTest, ReleaseCountsAggregatedRuns)
+{
+    add(0);
+    add(1);
+    add(3);
+    EXPECT_EQ(quarantine.runCount(), 2u);
+    EXPECT_EQ(quarantine.release(dl), 2u)
+        << "release performs one internal free per aggregated run";
+    EXPECT_TRUE(quarantine.empty());
+    EXPECT_EQ(quarantine.totalBytes(), 0u);
+    dl.validateHeap();
+}
+
+TEST_F(QuarantineMergeTest, ShardedRunsPartitionExactly)
+{
+    add(0);
+    add(2); // two separate runs
+    for (const size_t shards : {1u, 2u, 3u, 7u}) {
+        const auto sharded = quarantine.shardedRuns(shards);
+        ASSERT_EQ(sharded.size(), shards);
+        std::vector<QuarantineRun> flattened;
+        uint64_t prev_hi = 0;
+        for (const QuarantineShard &shard : sharded) {
+            EXPECT_LE(shard.lo, shard.hi);
+            EXPECT_GE(shard.lo, prev_hi);
+            prev_hi = shard.hi;
+            for (const QuarantineRun &run : shard.runs) {
+                EXPECT_GE(run.addr, shard.lo)
+                    << "run must start inside its shard band";
+                EXPECT_LT(run.addr, shard.hi);
+                flattened.push_back(run);
+            }
+        }
+        // Concatenating the shards reproduces runs() exactly.
+        const auto reference = quarantine.runs();
+        ASSERT_EQ(flattened.size(), reference.size()) << shards;
+        for (size_t i = 0; i < reference.size(); ++i) {
+            EXPECT_EQ(flattened[i].addr, reference[i].addr);
+            EXPECT_EQ(flattened[i].size, reference[i].size);
+        }
+    }
+}
+
+TEST_F(QuarantineMergeTest, ShardedRunsEmptyQuarantine)
+{
+    EXPECT_TRUE(quarantine.shardedRuns(4).empty());
 }
 
 TEST(QuarantineUnit, TotalBytesAccumulates)

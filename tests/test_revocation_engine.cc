@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Tests for the unified RevocationEngine: policy scheduling
+ * (stop-the-world / incremental / concurrent), the satellite
+ * guarantee that a threaded sweep reports statistics and cache/DRAM
+ * traffic identical to the serial sweep on the same trace, and the
+ * sharded paint path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alloc/cherivoke_alloc.hh"
+#include "revoke/revocation_engine.hh"
+#include "sim/experiment.hh"
+#include "support/rng.hh"
+#include "workload/driver.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth.hh"
+
+namespace cherivoke {
+namespace revoke {
+namespace {
+
+using alloc::CherivokeAllocator;
+using alloc::CherivokeConfig;
+using cap::Capability;
+
+CherivokeConfig
+smallConfig()
+{
+    CherivokeConfig cfg;
+    cfg.minQuarantineBytes = 64;
+    return cfg;
+}
+
+EngineConfig
+policyConfig(PolicyKind kind, size_t pages_per_slice = 4)
+{
+    EngineConfig cfg;
+    cfg.policy = kind;
+    cfg.pagesPerSlice = pages_per_slice;
+    return cfg;
+}
+
+/** Build a deterministic pointered heap and free a subset. */
+void
+buildImage(mem::AddressSpace &space, CherivokeAllocator &heap,
+           std::vector<uint64_t> &freed_bases, uint64_t seed = 321)
+{
+    Rng rng(seed);
+    std::vector<Capability> live;
+    for (int i = 0; i < 600; ++i) {
+        const Capability c = heap.malloc(rng.nextLogUniform(32, 2048));
+        space.memory().writeCap(
+            mem::kGlobalsBase + static_cast<uint64_t>(i) * 16, c);
+        if (!live.empty() && rng.nextBool(0.5)) {
+            const Capability &other =
+                live[rng.nextBounded(live.size())];
+            space.memory().storeCap(other, other.base(), c);
+        }
+        live.push_back(c);
+    }
+    for (size_t i = 0; i < live.size(); i += 3) {
+        freed_bases.push_back(live[i].base());
+        heap.free(live[i]);
+    }
+}
+
+/** The same-trace driver run under one thread count / policy. */
+struct TraceRun
+{
+    SweepStats sweep;
+    alloc::PaintStats paint;
+    uint64_t epochs = 0;
+    uint64_t dramReads = 0;
+    uint64_t dramWrites = 0;
+    uint64_t offCoreLines = 0;
+};
+
+TraceRun
+runTrace(unsigned threads, PolicyKind policy,
+         const workload::Trace &trace)
+{
+    mem::AddressSpace space;
+    alloc::CherivokeConfig acfg;
+    acfg.minQuarantineBytes = 64 * KiB;
+    CherivokeAllocator allocator(space, acfg);
+    EngineConfig ecfg;
+    ecfg.policy = policy;
+    ecfg.sweep.threads = threads;
+    ecfg.sweep.useCloadTags = true; // exercise the CLoadTags replay
+    RevocationEngine engine(allocator, space, ecfg);
+    cache::Hierarchy hierarchy;
+    workload::TraceDriver driver(space, allocator, &engine);
+    driver.run(trace, &hierarchy);
+
+    TraceRun out;
+    out.sweep = engine.totals().sweep;
+    out.paint = engine.totals().paint;
+    out.epochs = engine.totals().epochs;
+    out.dramReads = hierarchy.dram().readBytes();
+    out.dramWrites = hierarchy.dram().writeBytes();
+    out.offCoreLines = hierarchy.offCoreLines();
+    return out;
+}
+
+/**
+ * The acceptance-criterion test: threads=N produces identical
+ * SweepStats (pages swept, caps revoked, traffic totals) to
+ * threads=1 on the same trace, for N in {2, 4, 8}.
+ */
+TEST(ParallelSweepEquality, ThreadedTrafficMatchesSerial)
+{
+    workload::SynthConfig synth_cfg;
+    synth_cfg.scale = 1.0 / 64;
+    synth_cfg.durationSec = 0.5;
+    synth_cfg.seed = 11;
+    const workload::Trace trace = workload::synthesize(
+        workload::profileFor("xalancbmk"), synth_cfg);
+
+    const TraceRun serial =
+        runTrace(1, PolicyKind::StopTheWorld, trace);
+    ASSERT_GT(serial.epochs, 0u);
+    ASSERT_GT(serial.sweep.capsRevoked, 0u);
+    ASSERT_GT(serial.dramReads, 0u);
+
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        const TraceRun par =
+            runTrace(threads, PolicyKind::StopTheWorld, trace);
+        EXPECT_EQ(par.epochs, serial.epochs) << threads;
+        EXPECT_TRUE(par.sweep == serial.sweep)
+            << "sweep stats diverged at threads=" << threads;
+        EXPECT_EQ(par.paint.total(), serial.paint.total());
+        EXPECT_EQ(par.dramReads, serial.dramReads)
+            << "DRAM read traffic diverged at threads=" << threads;
+        EXPECT_EQ(par.dramWrites, serial.dramWrites)
+            << "DRAM write traffic diverged at threads=" << threads;
+        EXPECT_EQ(par.offCoreLines, serial.offCoreLines)
+            << "off-core traffic diverged at threads=" << threads;
+    }
+}
+
+TEST(ParallelSweepEquality, ThreadedSweepMatchesSerialOnOneImage)
+{
+    // Direct sweeper-level check with traffic modelling on.
+    auto run = [](unsigned threads) {
+        mem::AddressSpace space;
+        CherivokeAllocator heap(space, CherivokeConfig{});
+        std::vector<uint64_t> freed;
+        buildImage(space, heap, freed);
+        heap.prepareSweep();
+        SweepOptions opts;
+        opts.threads = threads;
+        opts.useCloadTags = true;
+        Sweeper sweeper(opts);
+        cache::Hierarchy hierarchy;
+        const SweepStats stats =
+            sweeper.sweep(space, heap.shadowMap(), &hierarchy);
+        heap.finishSweep();
+        return std::make_pair(stats,
+                              hierarchy.dram().totalBytes());
+    };
+    const auto [serial, serial_dram] = run(1);
+    ASSERT_GT(serial.capsRevoked, 0u);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        const auto [par, par_dram] = run(threads);
+        EXPECT_TRUE(par == serial) << "threads=" << threads;
+        EXPECT_EQ(par_dram, serial_dram) << "threads=" << threads;
+    }
+}
+
+TEST(RevocationEngineTest, AllPoliciesRevokeEveryDangler)
+{
+    for (const PolicyKind kind :
+         {PolicyKind::StopTheWorld, PolicyKind::Incremental,
+          PolicyKind::Concurrent}) {
+        mem::AddressSpace space;
+        CherivokeAllocator heap(space, smallConfig());
+        RevocationEngine engine(heap, space, policyConfig(kind));
+        std::vector<uint64_t> freed;
+        buildImage(space, heap, freed);
+        engine.revokeNow();
+        EXPECT_FALSE(engine.epochOpen());
+        for (uint64_t s = 0; s < 600; ++s) {
+            const Capability c = space.memory().readCap(
+                mem::kGlobalsBase + s * 16);
+            if (!c.tag())
+                continue;
+            for (const uint64_t base : freed) {
+                EXPECT_NE(c.base(), base)
+                    << policyName(kind)
+                    << " left a dangling cap in slot " << s;
+            }
+        }
+        heap.dl().validateHeap();
+    }
+}
+
+TEST(RevocationEngineTest, ConcurrentPolicyInterleavesEpochs)
+{
+    mem::AddressSpace space;
+    CherivokeAllocator heap(space, smallConfig());
+    RevocationEngine engine(
+        heap, space, policyConfig(PolicyKind::Concurrent, 1));
+
+    std::vector<Capability> caps;
+    for (int i = 0; i < 128; ++i) {
+        const Capability c = heap.malloc(4 * KiB);
+        space.memory().storeCap(c, c.base(), c);
+        caps.push_back(c);
+    }
+    for (auto &c : caps)
+        heap.free(c);
+
+    // First pump opens the epoch and advances one slice; the epoch
+    // stays open across calls (mutator-assist scheduling).
+    ASSERT_TRUE(heap.needsSweep());
+    EXPECT_FALSE(engine.maybeRevoke());
+    EXPECT_TRUE(engine.epochOpen());
+    EXPECT_TRUE(space.memory().loadBarrierActive());
+    EXPECT_GT(engine.pagesRemaining(), 0u);
+
+    int pumps = 1;
+    while (!engine.maybeRevoke())
+        ++pumps;
+    EXPECT_GT(pumps, 2) << "epoch should span several pumps";
+    EXPECT_FALSE(engine.epochOpen());
+    EXPECT_FALSE(space.memory().loadBarrierActive());
+    EXPECT_EQ(engine.totals().epochs, 1u);
+    EXPECT_GT(engine.totals().slices, 2u);
+}
+
+TEST(RevocationEngineTest, PolicyNamesRoundTrip)
+{
+    for (const PolicyKind kind :
+         {PolicyKind::StopTheWorld, PolicyKind::Incremental,
+          PolicyKind::Concurrent}) {
+        PolicyKind parsed;
+        ASSERT_TRUE(parsePolicy(policyName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    PolicyKind parsed;
+    EXPECT_TRUE(parsePolicy("stw", parsed));
+    EXPECT_EQ(parsed, PolicyKind::StopTheWorld);
+    EXPECT_FALSE(parsePolicy("nonsense", parsed));
+}
+
+TEST(RevocationEngineTest, ShardedPaintMatchesUnsharded)
+{
+    // Identical images painted with 1 vs N shards: identical paint
+    // statistics (whole runs stay within one shard, so the store
+    // sequence is the same) and identical sweep outcome.
+    auto run = [](unsigned shards) {
+        mem::AddressSpace space;
+        CherivokeAllocator heap(space, CherivokeConfig{});
+        std::vector<uint64_t> freed;
+        buildImage(space, heap, freed);
+        const alloc::PaintStats paint = heap.prepareSweep(shards);
+        Sweeper sweeper;
+        const SweepStats stats =
+            sweeper.sweep(space, heap.shadowMap());
+        heap.finishSweep();
+        return std::make_pair(paint, stats);
+    };
+    const auto [paint1, sweep1] = run(1);
+    ASSERT_GT(paint1.total(), 0u);
+    for (const unsigned shards : {2u, 3u, 8u}) {
+        const auto [paintN, sweepN] = run(shards);
+        EXPECT_EQ(paintN.bitOps, paint1.bitOps) << shards;
+        EXPECT_EQ(paintN.byteOps, paint1.byteOps) << shards;
+        EXPECT_EQ(paintN.wordOps, paint1.wordOps) << shards;
+        EXPECT_EQ(paintN.dwordOps, paint1.dwordOps) << shards;
+        EXPECT_TRUE(sweepN == sweep1) << shards;
+    }
+}
+
+TEST(RevocationEngineTest, EngineLevelShardedPaint)
+{
+    mem::AddressSpace space;
+    CherivokeAllocator heap(space, smallConfig());
+    EngineConfig cfg;
+    cfg.paintShards = 4;
+    RevocationEngine engine(heap, space, cfg);
+    std::vector<uint64_t> freed;
+    buildImage(space, heap, freed);
+    const EpochStats epoch = engine.revokeNow();
+    EXPECT_GT(epoch.paint.total(), 0u);
+    EXPECT_GT(epoch.sweep.capsRevoked, 0u);
+    EXPECT_EQ(heap.quarantinedBytes(), 0u);
+    heap.dl().validateHeap();
+}
+
+TEST(RevocationEngineTest, DrainIsIdempotent)
+{
+    mem::AddressSpace space;
+    CherivokeAllocator heap(space, smallConfig());
+    RevocationEngine engine(
+        heap, space, policyConfig(PolicyKind::Concurrent, 1));
+    const Capability a = heap.malloc(64);
+    heap.free(a);
+    engine.maybeRevoke();
+    engine.drain();
+    EXPECT_FALSE(engine.epochOpen());
+    const uint64_t epochs = engine.totals().epochs;
+    engine.drain();
+    EXPECT_EQ(engine.totals().epochs, epochs);
+}
+
+TEST(RevocationEngineTest, FreeAndRevokeCoversOpenEpoch)
+{
+    // Strict §3.7 mode must revoke the just-freed allocation even if
+    // a concurrent epoch (frozen before the free) is open.
+    mem::AddressSpace space;
+    CherivokeAllocator heap(space, smallConfig());
+    RevocationEngine engine(
+        heap, space, policyConfig(PolicyKind::Concurrent, 1));
+
+    std::vector<Capability> caps;
+    for (int i = 0; i < 64; ++i) {
+        const Capability c = heap.malloc(4 * KiB);
+        space.memory().storeCap(c, c.base(), c);
+        caps.push_back(c);
+    }
+    for (auto &c : caps)
+        heap.free(c);
+    engine.maybeRevoke(); // opens an epoch over those frees
+    ASSERT_TRUE(engine.epochOpen());
+
+    const Capability victim = heap.malloc(64);
+    space.memory().writeCap(mem::kGlobalsBase, victim);
+    engine.freeAndRevoke(victim);
+    EXPECT_FALSE(space.memory().readCap(mem::kGlobalsBase).tag())
+        << "strict mode must revoke the freed cap immediately";
+    EXPECT_FALSE(engine.epochOpen());
+}
+
+TEST(RevocationEngineTest, ExperimentRunsUnderEveryPolicy)
+{
+    // The bench drivers route through runBenchmark; every policy must
+    // complete and agree on the workload's safety-relevant totals.
+    for (const PolicyKind kind :
+         {PolicyKind::StopTheWorld, PolicyKind::Incremental,
+          PolicyKind::Concurrent}) {
+        sim::ExperimentConfig cfg;
+        cfg.scale = 1.0 / 128;
+        cfg.durationSec = 0.2;
+        cfg.policy = kind;
+        const sim::BenchResult r = sim::runBenchmark(
+            workload::profileFor("xalancbmk"), cfg);
+        EXPECT_GT(r.run.revoker.epochs, 0u) << policyName(kind);
+        EXPECT_GT(r.run.revoker.sweep.capsRevoked, 0u)
+            << policyName(kind);
+        EXPECT_GT(r.normalizedTime, 1.0) << policyName(kind);
+    }
+}
+
+} // namespace
+} // namespace revoke
+} // namespace cherivoke

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "alloc/shadow_map.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
@@ -138,6 +140,63 @@ TEST_F(ShadowMapTest, DisjointRangesIndependent)
     shadow.clear(heap, 256);
     EXPECT_EQ(shadow.countPainted(heap, 256), 0u);
     EXPECT_EQ(shadow.countPainted(heap + 1024, 256), 16u);
+}
+
+TEST_F(ShadowMapTest, ShardViewsClampToTheirRange)
+{
+    // Two adjacent shard views splitting [heap, heap+4096) at an odd
+    // granule boundary: each paints the full range, clamped; their
+    // union must equal one unsharded paint, with no double coverage.
+    const uint64_t split = heap + 17 * kGranuleBytes;
+    ShadowMap::View left = shadow.view(heap, split);
+    ShadowMap::View right = shadow.view(split, heap + 4096);
+
+    left.paint(heap, 4096);
+    EXPECT_EQ(shadow.countPainted(heap, 4096), 17u)
+        << "left view must paint only its own granules";
+    right.paint(heap, 4096);
+    EXPECT_EQ(shadow.countPainted(heap, 4096), 256u);
+
+    // Out-of-range requests are no-ops with empty statistics.
+    const PaintStats disjoint = left.paint(heap + 64 * KiB, 4096);
+    EXPECT_EQ(disjoint.total(), 0u);
+    EXPECT_EQ(shadow.countPainted(heap + 64 * KiB, 4096), 0u);
+}
+
+TEST_F(ShadowMapTest, ShardedPaintIdempotentAcrossBoundaries)
+{
+    const uint64_t size = 64 * KiB;
+    // Reference: one unsharded paint.
+    shadow.paint(heap, size);
+    std::vector<bool> reference;
+    for (uint64_t a = heap; a < heap + size; a += kGranuleBytes)
+        reference.push_back(shadow.isRevoked(a));
+    shadow.clear(heap, size);
+
+    // Sharded: three views with deliberately awkward boundaries.
+    const uint64_t b1 = heap + 333 * kGranuleBytes;
+    const uint64_t b2 = heap + 2048 * kGranuleBytes;
+    ShadowMap::View views[] = {shadow.view(heap, b1),
+                               shadow.view(b1, b2),
+                               shadow.view(b2, heap + size)};
+    for (int repeat = 0; repeat < 2; ++repeat) { // idempotence
+        for (ShadowMap::View &v : views)
+            v.paint(heap, size);
+        size_t idx = 0;
+        for (uint64_t a = heap; a < heap + size;
+             a += kGranuleBytes) {
+            ASSERT_EQ(shadow.isRevoked(a), reference[idx])
+                << "granule " << idx << " repeat " << repeat;
+            ++idx;
+        }
+    }
+
+    // Unpaint through the views; clearing twice is also idempotent.
+    for (int repeat = 0; repeat < 2; ++repeat) {
+        for (ShadowMap::View &v : views)
+            v.clear(heap, size);
+        EXPECT_EQ(shadow.countPainted(heap, size), 0u);
+    }
 }
 
 /** Property: paint/clear of random interleaved ranges matches a

@@ -14,7 +14,7 @@
 
 #include "alloc/cherivoke_alloc.hh"
 #include "revoke/analytical_model.hh"
-#include "revoke/revoker.hh"
+#include "revoke/revocation_engine.hh"
 #include "revoke/sweeper.hh"
 #include "support/rng.hh"
 
@@ -296,9 +296,9 @@ TEST_F(SweeperTest, ParallelSweepMatchesSerial)
     alloc.finishSweep();
 }
 
-TEST_F(SweeperTest, RevokerRunsEpochsAutomatically)
+TEST_F(SweeperTest, EngineRunsEpochsAutomatically)
 {
-    Revoker revoker(alloc, space);
+    RevocationEngine revoker(alloc, space);
     std::vector<Capability> caps;
     for (int i = 0; i < 64; ++i)
         caps.push_back(alloc.malloc(1024));
@@ -316,7 +316,7 @@ TEST_F(SweeperTest, UseAfterReallocationAttackDefeated)
     // The figure 1 scenario, end to end: victim object freed, memory
     // reallocated to attacker data; the stale pointer must trap.
     auto &memory = space.memory();
-    Revoker revoker(alloc, space);
+    RevocationEngine revoker(alloc, space);
 
     Capability victim = alloc.malloc(64);
     memory.storeU64(victim, victim.base(), 0x600df00d); // "vtable"
@@ -351,7 +351,7 @@ TEST_P(SweepSafetyProperty, NoReachableDanglingCapAfterSweep)
     cfg.quarantineFraction = 0.25;
     cfg.minQuarantineBytes = 4 * KiB;
     CherivokeAllocator alloc(space, cfg);
-    Revoker revoker(alloc, space);
+    RevocationEngine revoker(alloc, space);
     auto &memory = space.memory();
     Rng rng(GetParam());
 

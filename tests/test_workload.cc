@@ -130,7 +130,7 @@ class SynthDriverTest : public ::testing::Test
         acfg.minQuarantineBytes = 64 * KiB;
         allocator = std::make_unique<alloc::CherivokeAllocator>(
             *space, acfg);
-        revoker = std::make_unique<revoke::Revoker>(*allocator,
+        revoker = std::make_unique<revoke::RevocationEngine>(*allocator,
                                                     *space);
         TraceDriver driver(*space, *allocator, revoker.get());
         return driver.run(trace);
@@ -138,7 +138,7 @@ class SynthDriverTest : public ::testing::Test
 
     std::unique_ptr<mem::AddressSpace> space;
     std::unique_ptr<alloc::CherivokeAllocator> allocator;
-    std::unique_ptr<revoke::Revoker> revoker;
+    std::unique_ptr<revoke::RevocationEngine> revoker;
 };
 
 TEST_F(SynthDriverTest, FreeRateConvergesToScaledTarget)
