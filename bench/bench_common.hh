@@ -33,12 +33,13 @@ printSystems(const char *title)
 /**
  * Default experiment configuration used by the figure benches.
  *
- * Every figure driver honours two environment overrides so the whole
- * suite can be reproduced under any policy × thread-count
- * combination of the revocation engine:
- *   CHERIVOKE_POLICY  = stw | stop-the-world | incremental |
- *                       concurrent
- *   CHERIVOKE_THREADS = sweep worker count (default 1)
+ * Every figure driver honours three environment overrides so the
+ * whole suite can be reproduced under any policy × thread-count ×
+ * paint-shard combination of the revocation engine:
+ *   CHERIVOKE_POLICY       = stw | stop-the-world | incremental |
+ *                            concurrent
+ *   CHERIVOKE_THREADS      = sweep worker count (default 1)
+ *   CHERIVOKE_PAINT_SHARDS = concurrent painter threads (default 1)
  */
 inline sim::ExperimentConfig
 defaultConfig()
@@ -58,6 +59,13 @@ defaultConfig()
         if (n < 1)
             fatal("bad CHERIVOKE_THREADS '%s'", threads);
         cfg.threads = static_cast<unsigned>(n);
+    }
+    if (const char *shards =
+            std::getenv("CHERIVOKE_PAINT_SHARDS")) {
+        const long n = std::strtol(shards, nullptr, 10);
+        if (n < 1)
+            fatal("bad CHERIVOKE_PAINT_SHARDS '%s'", shards);
+        cfg.paintShards = static_cast<unsigned>(n);
     }
     return cfg;
 }

@@ -38,6 +38,18 @@ struct CherivokeConfig
     DlConfig dl{};
 };
 
+/**
+ * Paint every shard's quarantined runs, one worker thread per
+ * non-empty shard, each through a shard-restricted ShadowMap::View
+ * (payload spans only: run headers are skipped exactly as the serial
+ * paint does). Views cover disjoint granule ranges and the shadow
+ * store path is thread-safe, so the result — shadow contents and the
+ * returned PaintStats, merged in shard order — is identical to
+ * painting the same shards serially.
+ */
+PaintStats paintShardsConcurrent(
+    ShadowMap &shadow, const std::vector<QuarantineShard> &shards);
+
 /** The CHERIvoke allocator facade. */
 class CherivokeAllocator
 {
@@ -88,10 +100,13 @@ class CherivokeAllocator
      * for incremental/concurrent revocation (§3.5).
      *
      * With @p paint_shards > 1 the revocation set is partitioned
-     * into address bands and each band is painted through its own
-     * shard-restricted shadow-map view. Whole runs stay within one
-     * shard, so the store sequence — and the returned statistics —
-     * are identical for every shard count.
+     * into address bands and each band is painted *concurrently*, on
+     * its own worker thread, through its own shard-restricted
+     * shadow-map view (the raw shadow-store path is thread-safe).
+     * Whole runs stay within one shard, so the store sequence per
+     * shard — and the returned statistics, merged in shard order —
+     * are identical for every shard count, and the painted shadow
+     * bytes are identical to a serial paint.
      * @return paint statistics for the cost model
      */
     PaintStats prepareSweep(unsigned paint_shards = 1);

@@ -19,21 +19,6 @@ PaintStats::operator+=(const PaintStats &o)
     return *this;
 }
 
-namespace {
-
-/** Read-modify-write a partial shadow byte. */
-void
-rmwByte(mem::TaggedMemory &mem, uint64_t shadow_addr, uint8_t mask,
-        bool set)
-{
-    uint8_t byte = 0;
-    mem.readBytes(shadow_addr, &byte, 1);
-    byte = set ? (byte | mask) : (byte & static_cast<uint8_t>(~mask));
-    mem.writeBytes(shadow_addr, &byte, 1);
-}
-
-} // namespace
-
 PaintStats
 ShadowMap::apply(uint64_t addr, uint64_t size, bool set)
 {
@@ -49,7 +34,8 @@ ShadowMap::apply(uint64_t addr, uint64_t size, bool set)
                         kGranuleShift;
 
     uint64_t g = g0;
-    // Head: partial first shadow byte.
+    // Head: partial first shadow byte. Atomic RMW — an adjacent
+    // paint shard may own the byte's other granules.
     if (g & 7) {
         const uint64_t byte_addr = mem::kShadowBase + (g >> 3);
         const unsigned lo = g & 7;
@@ -58,43 +44,44 @@ ShadowMap::apply(uint64_t addr, uint64_t size, bool set)
         uint8_t mask = 0;
         for (unsigned b = lo; b < hi; ++b)
             mask |= static_cast<uint8_t>(1u << b);
-        rmwByte(*mem_, byte_addr, mask, set);
+        mem_->shadowApplyBits(byte_addr, mask, set);
         ++st.bitOps;
         g += hi - lo;
     }
 
-    // Body: whole shadow bytes, widened to 4- and 8-byte stores when
-    // the shadow address is suitably aligned.
+    // Body: whole shadow bytes. The *modelled* store sequence keeps
+    // the §5.2 width optimisation (byte / word / dword stores,
+    // counted below, feeding the paint cost model), but the
+    // simulator now issues one raw fill for the whole span instead
+    // of one checked write per modelled store.
     const uint8_t fill = set ? 0xff : 0x00;
+    const uint64_t body_begin = g;
     while (g + 8 <= g1) {
         const uint64_t byte_addr = mem::kShadowBase + (g >> 3);
         const uint64_t bytes_left = (g1 - g) >> 3;
         if (bytes_left >= 8 && isAligned(byte_addr, 8)) {
-            uint8_t buf[8];
-            std::memset(buf, fill, 8);
-            mem_->writeBytes(byte_addr, buf, 8);
             ++st.dwordOps;
             g += 64;
         } else if (bytes_left >= 4 && isAligned(byte_addr, 4)) {
-            uint8_t buf[4];
-            std::memset(buf, fill, 4);
-            mem_->writeBytes(byte_addr, buf, 4);
             ++st.wordOps;
             g += 32;
         } else {
-            mem_->writeBytes(byte_addr, &fill, 1);
             ++st.byteOps;
             g += 8;
         }
     }
+    if (g > body_begin) {
+        mem_->shadowFill(mem::kShadowBase + (body_begin >> 3), fill,
+                         (g - body_begin) >> 3);
+    }
 
-    // Tail: partial last shadow byte.
+    // Tail: partial last shadow byte (atomic, as for the head).
     if (g < g1) {
         const uint64_t byte_addr = mem::kShadowBase + (g >> 3);
         uint8_t mask = 0;
         for (uint64_t b = g & 7; b < (g & 7) + (g1 - g); ++b)
             mask |= static_cast<uint8_t>(1u << b);
-        rmwByte(*mem_, byte_addr, mask, set);
+        mem_->shadowApplyBits(byte_addr, mask, set);
         ++st.bitOps;
     }
     return st;
@@ -123,8 +110,9 @@ ShadowMap::paintBitByBit(uint64_t addr, uint64_t size)
     const uint64_t g1 = (addr + size + kGranuleBytes - 1) >>
                         kGranuleShift;
     for (uint64_t g = g0; g < g1; ++g) {
-        rmwByte(*mem_, mem::kShadowBase + (g >> 3),
-                static_cast<uint8_t>(1u << (g & 7)), true);
+        mem_->shadowApplyBits(mem::kShadowBase + (g >> 3),
+                              static_cast<uint8_t>(1u << (g & 7)),
+                              true);
         ++st.bitOps;
     }
     return st;
@@ -134,11 +122,10 @@ bool
 ShadowMap::isRevoked(uint64_t addr) const
 {
     // The §3.3 inner-loop lookup: shift to the granule, index the
-    // shadow byte, test the bit. Counter-free so that concurrent
-    // sweep threads can share the (read-only) map.
+    // shadow byte, test the bit. Counter- and lock-free so that
+    // concurrent sweep threads can share the (read-only) map.
     const uint64_t g = addr >> kGranuleShift;
-    uint8_t byte = 0;
-    mem_->peekBytes(mem::kShadowBase + (g >> 3), &byte, 1);
+    const uint8_t byte = mem_->peekU8(mem::kShadowBase + (g >> 3));
     return (byte >> (g & 7)) & 1;
 }
 

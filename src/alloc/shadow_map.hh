@@ -10,6 +10,14 @@
  * "large and aligned contiguous regions use byte, half-word, word,
  * and double-word store instructions when possible"). The per-width
  * operation counts feed the paint cost model and the ablation bench.
+ *
+ * All painting goes through TaggedMemory's raw shadow-store path
+ * (shadowFill / shadowApplyBits): whole-byte spans are plain fills
+ * (each byte belongs to exactly one quarantined run), partial
+ * head/tail bytes are atomic RMWs (adjacent paint shards may share
+ * them). Shard views over disjoint granule ranges can therefore
+ * paint concurrently from several threads and still produce shadow
+ * contents byte-identical to a serial paint.
  */
 
 #ifndef CHERIVOKE_ALLOC_SHADOW_MAP_HH

@@ -6,56 +6,80 @@ namespace cherivoke {
 namespace cache {
 
 void
+TrafficLog::append(OpKind kind, uint64_t addr, uint32_t size,
+                   uint8_t flags)
+{
+    ++events_;
+    if (!ops_.empty()) {
+        Op &back = ops_.back();
+        if (back.kind == kind && back.flags == flags &&
+            back.size == size && back.count < UINT32_MAX) {
+            if (back.count == 1) {
+                // The second event fixes the extent's stride (any
+                // difference, including 0 for a repeated address).
+                back.stride = addr - back.addr;
+                back.count = 2;
+                return;
+            }
+            if (addr == back.addr + back.stride * back.count) {
+                ++back.count;
+                return;
+            }
+        }
+    }
+    Op op;
+    op.addr = addr;
+    op.size = size;
+    op.kind = kind;
+    op.flags = flags;
+    ops_.push_back(op);
+}
+
+void
 TrafficLog::access(uint64_t addr, uint64_t size, bool write)
 {
     CHERIVOKE_ASSERT(size <= UINT32_MAX);
-    Op op;
-    op.addr = addr;
-    op.size = static_cast<uint32_t>(size);
-    op.kind = OpKind::Access;
-    op.flags = write ? kWrite : 0;
-    ops_.push_back(op);
+    append(OpKind::Access, addr, static_cast<uint32_t>(size),
+           write ? kWrite : 0);
 }
 
 void
 TrafficLog::cloadTags(uint64_t line_addr, bool region_has_tags,
                       bool prefetch_if_tagged, bool line_has_tags)
 {
-    Op op;
-    op.addr = line_addr;
-    op.kind = OpKind::CloadTags;
-    op.flags = static_cast<uint8_t>(
-        (region_has_tags ? kRegionHasTags : 0) |
-        (prefetch_if_tagged ? kPrefetch : 0) |
-        (line_has_tags ? kLineHasTags : 0));
-    ops_.push_back(op);
+    append(OpKind::CloadTags, line_addr,
+           0,
+           static_cast<uint8_t>(
+               (region_has_tags ? kRegionHasTags : 0) |
+               (prefetch_if_tagged ? kPrefetch : 0) |
+               (line_has_tags ? kLineHasTags : 0)));
 }
 
 void
 TrafficLog::revocationTagWrite(uint64_t line_addr)
 {
-    Op op;
-    op.addr = line_addr;
-    op.kind = OpKind::TagWrite;
-    ops_.push_back(op);
+    append(OpKind::TagWrite, line_addr, 0, 0);
 }
 
 void
 TrafficLog::replayInto(TrafficSink &sink) const
 {
     for (const Op &op : ops_) {
-        switch (op.kind) {
-          case OpKind::Access:
-            sink.access(op.addr, op.size, op.flags & kWrite);
-            break;
-          case OpKind::CloadTags:
-            sink.cloadTags(op.addr, op.flags & kRegionHasTags,
-                           op.flags & kPrefetch,
-                           op.flags & kLineHasTags);
-            break;
-          case OpKind::TagWrite:
-            sink.revocationTagWrite(op.addr);
-            break;
+        for (uint32_t i = 0; i < op.count; ++i) {
+            const uint64_t addr = op.addr + op.stride * i;
+            switch (op.kind) {
+              case OpKind::Access:
+                sink.access(addr, op.size, op.flags & kWrite);
+                break;
+              case OpKind::CloadTags:
+                sink.cloadTags(addr, op.flags & kRegionHasTags,
+                               op.flags & kPrefetch,
+                               op.flags & kLineHasTags);
+                break;
+              case OpKind::TagWrite:
+                sink.revocationTagWrite(addr);
+                break;
+            }
         }
     }
 }

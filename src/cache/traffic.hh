@@ -78,6 +78,18 @@ class HierarchySink final : public TrafficSink
 /**
  * Records events into a compact per-thread buffer for deterministic
  * replay after the sweep workers join.
+ *
+ * The sweep is streaming (§3.4): its event sequence is dominated by
+ * runs of consecutive same-kind events whose addresses advance by a
+ * fixed stride — sequential CLoadTags over a tag-empty region,
+ * sequential line reads, repeated probes of one shadow byte. The log
+ * therefore run-length-compresses: each record is an *extent*
+ * (base address, stride, count) of identical-attribute events, and a
+ * new event extends the last record whenever kind, flags, size and
+ * the arithmetic progression all match. Replay expands extents back
+ * to the exact serial event sequence, so record/replay traffic
+ * totals are unchanged — only the log's memory shrinks (a full-page
+ * skipped sub-run collapses 64 records into one).
  */
 class TrafficLog final : public TrafficSink
 {
@@ -91,9 +103,17 @@ class TrafficLog final : public TrafficSink
     /** Replay every recorded event, in order, into @p sink. */
     void replayInto(TrafficSink &sink) const;
 
+    /** Extent records held (the log's memory footprint). */
     size_t size() const { return ops_.size(); }
+    /** Events recorded (what replayInto() will emit). */
+    uint64_t eventCount() const { return events_; }
     bool empty() const { return ops_.empty(); }
-    void clear() { ops_.clear(); }
+    void
+    clear()
+    {
+        ops_.clear();
+        events_ = 0;
+    }
 
   private:
     enum class OpKind : uint8_t
@@ -109,15 +129,24 @@ class TrafficLog final : public TrafficSink
     static constexpr uint8_t kPrefetch = 1 << 1;      // CloadTags
     static constexpr uint8_t kLineHasTags = 1 << 2;   // CloadTags
 
+    /** One extent: @c count events at addr, addr+stride,
+     *  addr+2*stride, ... (mod 2^64), all sharing kind/size/flags. */
     struct Op
     {
         uint64_t addr = 0;
+        uint64_t stride = 0;
+        uint32_t count = 1;
         uint32_t size = 0;
         OpKind kind = OpKind::Access;
         uint8_t flags = 0;
     };
 
+    /** Extend the last extent or start a new one. */
+    void append(OpKind kind, uint64_t addr, uint32_t size,
+                uint8_t flags);
+
     std::vector<Op> ops_;
+    uint64_t events_ = 0;
 };
 
 } // namespace cache

@@ -34,14 +34,60 @@ Page::clearGranuleTag(unsigned g)
     }
 }
 
+PageDirectory::PageDirectory()
+    : root_(new std::atomic<Leaf *>[kRootEntries]())
+{}
+
+PageDirectory::~PageDirectory()
+{
+    for (Leaf *leaf : leaves_) {
+        for (auto &slot : leaf->slots)
+            delete slot.load(std::memory_order_relaxed);
+        delete leaf;
+    }
+}
+
+Page &
+PageDirectory::getOrCreate(uint64_t vpn)
+{
+    if (vpn >= kMaxVpn) {
+        fatal("address 0x%llx beyond the %u-bit simulated VA space",
+              static_cast<unsigned long long>(vpn << kPageShift),
+              kVaBits);
+    }
+    std::atomic<Leaf *> &rslot = root_[vpn >> kLeafBits];
+    Leaf *leaf = rslot.load(std::memory_order_acquire);
+    if (!leaf) {
+        std::lock_guard<std::mutex> lock(
+            stripes_[(vpn >> kLeafBits) % kStripes]);
+        leaf = rslot.load(std::memory_order_acquire);
+        if (!leaf) {
+            leaf = new Leaf();
+            {
+                std::lock_guard<std::mutex> reg(leaves_mu_);
+                leaves_.push_back(leaf);
+            }
+            rslot.store(leaf, std::memory_order_release);
+        }
+    }
+    std::atomic<Page *> &slot = leaf->slots[vpn & (kLeafEntries - 1)];
+    Page *page = slot.load(std::memory_order_acquire);
+    if (!page) {
+        std::lock_guard<std::mutex> lock(stripes_[vpn % kStripes]);
+        page = slot.load(std::memory_order_acquire);
+        if (!page) {
+            page = new Page();
+            resident_.fetch_add(1, std::memory_order_relaxed);
+            slot.store(page, std::memory_order_release);
+        }
+    }
+    return *page;
+}
+
 Page &
 TaggedMemory::pageForWrite(uint64_t addr)
 {
-    const uint64_t vpn = addr >> kPageShift;
-    auto it = pages_.find(vpn);
-    if (it == pages_.end())
-        it = pages_.emplace(vpn, std::make_unique<Page>()).first;
-    return *it->second;
+    return dir_.getOrCreate(addr >> kPageShift);
 }
 
 void
@@ -398,18 +444,33 @@ TaggedMemory::pageTagCount(uint64_t addr) const
     return page ? page->tagCount : 0;
 }
 
-const Page *
-TaggedMemory::pageIfPresent(uint64_t addr) const
+void
+TaggedMemory::shadowFill(uint64_t addr, uint8_t byte, uint64_t size)
 {
-    auto it = pages_.find(addr >> kPageShift);
-    return it == pages_.end() ? nullptr : it->second.get();
+    uint64_t remaining = size;
+    uint64_t cur = addr;
+    while (remaining > 0) {
+        Page &page = pageForWrite(cur);
+        const uint64_t off = cur & (kPageBytes - 1);
+        const uint64_t chunk = std::min(remaining, kPageBytes - off);
+        std::memset(page.data.data() + off, byte, chunk);
+        cur += chunk;
+        remaining -= chunk;
+    }
 }
 
-Page *
-TaggedMemory::pageIfPresentMutable(uint64_t addr)
+void
+TaggedMemory::shadowApplyBits(uint64_t addr, uint8_t mask, bool set)
 {
-    auto it = pages_.find(addr >> kPageShift);
-    return it == pages_.end() ? nullptr : it->second.get();
+    Page &page = pageForWrite(addr);
+    std::atomic_ref<uint8_t> byte(
+        page.data[addr & (kPageBytes - 1)]);
+    if (set) {
+        byte.fetch_or(mask, std::memory_order_relaxed);
+    } else {
+        byte.fetch_and(static_cast<uint8_t>(~mask),
+                       std::memory_order_relaxed);
+    }
 }
 
 } // namespace mem

@@ -18,10 +18,12 @@
 #define CHERIVOKE_MEM_TAGGED_MEMORY_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "cap/capability.hh"
 #include "mem/page_table.hh"
@@ -46,6 +48,82 @@ struct Page
     }
     void setGranuleTag(unsigned g);
     void clearGranuleTag(unsigned g);
+};
+
+/**
+ * Two-level direct-map page directory: the sweep/paint hot paths'
+ * O(1) replacement for the former std::map page store.
+ *
+ * The 36-bit VPN (48-bit virtual addresses) splits into an 18-bit
+ * root index and an 18-bit leaf index; each leaf table spans 1 GiB
+ * of address space. Both levels hold atomic pointers:
+ *
+ *  - lookups are lock-free (two acquire loads), so sweep workers and
+ *    the §3.3 shadow lookup never contend;
+ *  - materialisation takes a striped lock keyed by the slot, so
+ *    several painter threads can fault in shadow pages concurrently
+ *    without a global bottleneck, and double-allocation is impossible.
+ *
+ * Pages are never deallocated while the directory lives, so a pointer
+ * obtained from lookup() stays valid for the directory's lifetime —
+ * the property the sweeper relies on when it caches region pages.
+ */
+class PageDirectory
+{
+  public:
+    static constexpr unsigned kVaBits = 48;
+    static constexpr unsigned kLeafBits = 18;
+    static constexpr unsigned kRootBits =
+        kVaBits - kPageShift - kLeafBits;
+    static constexpr size_t kLeafEntries = size_t{1} << kLeafBits;
+    static constexpr size_t kRootEntries = size_t{1} << kRootBits;
+    static constexpr uint64_t kMaxVpn = uint64_t{1}
+                                        << (kRootBits + kLeafBits);
+    static constexpr size_t kStripes = 64;
+
+    PageDirectory();
+    ~PageDirectory();
+
+    PageDirectory(const PageDirectory &) = delete;
+    PageDirectory &operator=(const PageDirectory &) = delete;
+
+    /** Lock-free O(1) lookup; nullptr when never materialised (or
+     *  the vpn is beyond the supported virtual-address width). */
+    Page *
+    lookup(uint64_t vpn) const
+    {
+        if (vpn >= kMaxVpn)
+            return nullptr;
+        const Leaf *leaf =
+            root_[vpn >> kLeafBits].load(std::memory_order_acquire);
+        if (!leaf)
+            return nullptr;
+        return leaf->slots[vpn & (kLeafEntries - 1)].load(
+            std::memory_order_acquire);
+    }
+
+    /** Materialise-on-demand; striped-lock slow path, lock-free when
+     *  the page already exists. Thread-safe. */
+    Page &getOrCreate(uint64_t vpn);
+
+    /** Pages materialised so far. */
+    size_t
+    resident() const
+    {
+        return resident_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Leaf
+    {
+        std::array<std::atomic<Page *>, kLeafEntries> slots{};
+    };
+
+    std::unique_ptr<std::atomic<Leaf *>[]> root_;
+    std::array<std::mutex, kStripes> stripes_;
+    std::mutex leaves_mu_;
+    std::vector<Leaf *> leaves_; //!< for O(resident) destruction
+    std::atomic<size_t> resident_{0};
 };
 
 /**
@@ -80,6 +158,44 @@ class TaggedMemory
     uint64_t readU64(uint64_t addr) const;
     /** memset-style fill; clears covered tags like any data write. */
     void fill(uint64_t addr, uint8_t byte, uint64_t size);
+    /// @}
+
+    /** @name Raw shadow-store path (thread-safe) */
+    /// @{
+
+    /**
+     * Byte-fill for the revocation shadow region: no page-table
+     * checks, no capability-tag clearing (shadow bytes never carry
+     * tags), and no shared counters — the per-shard
+     * alloc::PaintStats are the accounting, so there is nothing to
+     * race on. Pages materialise under the directory's striped
+     * locks, and painter shards partition the granule space so no
+     * two threads ever fill the same byte: safe to call from several
+     * painting threads concurrently.
+     */
+    void shadowFill(uint64_t addr, uint8_t byte, uint64_t size);
+
+    /**
+     * Atomically OR @p mask into (set) or AND it out of (clear) the
+     * shadow byte at @p addr. This is the partial-byte
+     * read-modify-write of a paint head/tail; adjacent shards may
+     * share the byte, so the RMW must be atomic for threaded
+     * painting to produce byte-identical shadow contents.
+     */
+    void shadowApplyBits(uint64_t addr, uint8_t mask, bool set);
+
+    /** Lock-free single-byte read (zero when the page was never
+     *  written); the §3.3 shadow-lookup fast path. */
+    uint8_t
+    peekU8(uint64_t addr) const
+    {
+        const Page *page = pageIfPresent(addr);
+        return page ? page->data[addr & (kPageBytes - 1)] : 0;
+    }
+    /// @}
+
+    /** @name Capability-width (tag-carrying) access */
+    /// @{
 
     /** Store a capability word (16-byte aligned). Sets/clears the tag
      *  to match cap.tag(); a tagged store marks the PTE CapDirty and
@@ -150,14 +266,23 @@ class TaggedMemory
     /** Tag population of the page containing @p addr. */
     uint32_t pageTagCount(uint64_t addr) const;
 
-    /** Direct page lookup for the sweeper's inner loop;
-     *  nullptr when the page was never written. */
-    const Page *pageIfPresent(uint64_t addr) const;
-    Page *pageIfPresentMutable(uint64_t addr);
+    /** Direct page lookup for the sweeper's inner loop: O(1) and
+     *  lock-free through the page directory; nullptr when the page
+     *  was never written. */
+    const Page *
+    pageIfPresent(uint64_t addr) const
+    {
+        return dir_.lookup(addr >> kPageShift);
+    }
+    Page *
+    pageIfPresentMutable(uint64_t addr)
+    {
+        return dir_.lookup(addr >> kPageShift);
+    }
     /// @}
 
     /** Pages that have been materialised (touched by a write). */
-    size_t residentPages() const { return pages_.size(); }
+    size_t residentPages() const { return dir_.resident(); }
 
     stats::CounterGroup &counters() { return counters_; }
     const stats::CounterGroup &counters() const { return counters_; }
@@ -170,7 +295,7 @@ class TaggedMemory
     /** Clear tags of all granules overlapping [addr, addr+size). */
     void clearTagsInRange(uint64_t addr, uint64_t size);
 
-    std::map<uint64_t, std::unique_ptr<Page>> pages_; //!< by vpn
+    PageDirectory dir_;
     PageTable pt_;
     /** mutable: read paths account traffic too. */
     mutable stats::CounterGroup counters_;

@@ -61,9 +61,19 @@ Sweeper::buildWorklist(mem::AddressSpace &space,
     // Assemble the work list of pages, applying PTE CapDirty
     // elimination (§3.4.2: "an array of pages that could contain
     // capabilities", the §5.3 system API).
-    auto &pt = space.memory().pageTable();
     std::vector<uint64_t> pages;
-    for (const mem::Segment &seg : space.sweepableSegments()) {
+    const std::vector<mem::Segment> segments =
+        space.sweepableSegments();
+    if (segments.empty())
+        return pages;
+    // Reserve from the segment sizes: one push_back per candidate
+    // page, never a reallocation, even on large address spaces.
+    size_t upper = 0;
+    for (const mem::Segment &seg : segments)
+        upper += (seg.size + kPageBytes - 1) >> kPageShift;
+    pages.reserve(upper);
+    auto &pt = space.memory().pageTable();
+    for (const mem::Segment &seg : segments) {
         for (uint64_t p = seg.base; p < seg.end(); p += kPageBytes) {
             ++stats.pagesConsidered;
             if (options_.usePteCapDirty) {
@@ -158,19 +168,30 @@ Sweeper::sweepPages(mem::AddressSpace &space,
     std::vector<cache::TrafficLog> logs(hierarchy ? workers : 0);
     std::vector<std::thread> pool;
     pool.reserve(workers);
+    std::vector<std::exception_ptr> errors(workers);
     for (size_t t = 0; t < workers; ++t) {
         cache::TrafficSink *sink = hierarchy ? &logs[t] : nullptr;
         const size_t wlo = bounds[t], whi = bounds[t + 1];
         pool.emplace_back([this, &space, &shadow, &pages, &partial,
-                           sink, t, wlo, whi] {
+                           &errors, sink, t, wlo, whi] {
             // The shadow map is read-only for the whole sweep, so
             // workers share it safely.
-            partial[t] = sweepPageRange(space, shadow, pages, wlo,
-                                        whi, sink);
+            try {
+                partial[t] = sweepPageRange(space, shadow, pages,
+                                            wlo, whi, sink);
+            } catch (...) {
+                errors[t] = std::current_exception();
+            }
         });
     }
     for (auto &w : pool)
         w.join();
+    // Surface a worker's fault as the catchable exception a serial
+    // sweep would have thrown.
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
 
     // Merge in worklist order: statistics first, then the recorded
     // traffic, replayed into the hierarchy exactly as a serial sweep
@@ -198,13 +219,14 @@ Sweeper::sweepPageRange(mem::AddressSpace &space,
     auto &memory = space.memory();
     auto &pt = memory.pageTable();
     const KernelCosts costs = defaultCosts(options_.kernel);
+    const double zero_line_cycles = kernelCyclesForLine(costs, 0);
 
-    // Root-level tag presence for the 8 KiB leaf-tag-line region.
-    auto region_has_tags = [&](uint64_t line) {
-        const uint64_t region = alignDown(line, kTagRegionBytes);
-        return memory.pageTagCount(region) > 0 ||
-               memory.pageTagCount(region + kPageBytes) > 0;
-    };
+    // Each 64-bit word of Page::tags covers 64 granules: 16 lines,
+    // a 1 KiB sub-run of the page.
+    constexpr unsigned kLinesPerWord =
+        64 / static_cast<unsigned>(kCapsPerLine);
+    constexpr uint64_t kWordSpanBytes = kLinesPerWord * kLineBytes;
+    constexpr uint8_t kLineMaskBits = maskLow(kCapsPerLine);
 
     for (size_t idx = lo; idx < hi; ++idx) {
         const uint64_t page_addr = pages[idx];
@@ -212,65 +234,118 @@ Sweeper::sweepPageRange(mem::AddressSpace &space,
         mem::Page *page = memory.pageIfPresentMutable(page_addr);
         bool any_tag_found = false;
 
-        for (uint64_t line = page_addr;
-             line < page_addr + kPageBytes; line += kLineBytes) {
-            // Tag mask for the 4 capability words in this line.
-            uint8_t mask = 0;
-            if (page) {
-                const unsigned g0 = static_cast<unsigned>(
-                    (line & (kPageBytes - 1)) >> kGranuleShift);
-                for (unsigned i = 0; i < kCapsPerLine; ++i) {
-                    if (page->granuleTag(g0 + i))
-                        mask |= static_cast<uint8_t>(1u << i);
-                }
-            }
+        // Root-level tag presence for the covering 8 KiB
+        // leaf-tag-line region (§3.4.1): a 4 KiB page lies in
+        // exactly one region, so resolve the region's two pages once
+        // per page instead of twice per line. tagCount is still read
+        // per query — mid-sweep revocations lower it and later lines
+        // must observe that, exactly as the per-line lookup did.
+        const uint64_t region = alignDown(page_addr, kTagRegionBytes);
+        const mem::Page *r0 = memory.pageIfPresent(region);
+        const mem::Page *r1 =
+            memory.pageIfPresent(region + kPageBytes);
+        const auto region_has_tags = [r0, r1] {
+            return (r0 && r0->tagCount > 0) ||
+                   (r1 && r1->tagCount > 0);
+        };
 
-            if (options_.useCloadTags) {
-                stats.kernelCycles += kCloadTagsCycles;
-                if (sink) {
-                    sink->cloadTags(line, region_has_tags(line),
-                                    options_.cloadTagsPrefetch,
-                                    mask != 0);
-                }
-                if (mask == 0) {
-                    ++stats.linesSkippedTags;
-                    continue;
-                }
-            }
+        for (unsigned w = 0; w < kGranulesPerPage / 64; ++w) {
+            // Snapshot the tag word: revocations only clear bits of
+            // the line being processed, never of a later line, so
+            // the snapshot observes exactly what the per-line probes
+            // used to.
+            const uint64_t word = page ? page->tags[w] : 0;
+            const uint64_t sub = page_addr + w * kWordSpanBytes;
 
-            ++stats.linesSwept;
-            any_tag_found |= mask != 0;
-            stats.kernelCycles +=
-                kernelCyclesForLine(costs, popCount(mask));
-            if (sink)
-                sink->access(line, kLineBytes, false);
-            if (mask == 0)
+            if (word == 0) {
+                // Tag-empty 1 KiB sub-run: account the 16 lines
+                // without touching any per-line state. Nothing in
+                // this block mutates tag counts, so the root query
+                // answer is constant across the sub-run.
+                if (options_.useCloadTags) {
+                    stats.linesSkippedTags += kLinesPerWord;
+                    for (unsigned l = 0; l < kLinesPerWord; ++l)
+                        stats.kernelCycles += kCloadTagsCycles;
+                    if (sink) {
+                        const bool region_tags = region_has_tags();
+                        for (unsigned l = 0; l < kLinesPerWord; ++l) {
+                            sink->cloadTags(sub + l * kLineBytes,
+                                            region_tags,
+                                            options_.cloadTagsPrefetch,
+                                            false);
+                        }
+                    }
+                } else {
+                    stats.linesSwept += kLinesPerWord;
+                    for (unsigned l = 0; l < kLinesPerWord; ++l)
+                        stats.kernelCycles += zero_line_cycles;
+                    if (sink) {
+                        for (unsigned l = 0; l < kLinesPerWord; ++l) {
+                            sink->access(sub + l * kLineBytes,
+                                         kLineBytes, false);
+                        }
+                    }
+                }
                 continue;
-
-            bool revoked_in_line = false;
-            for (unsigned i = 0; i < kCapsPerLine; ++i) {
-                if (!(mask & (1u << i)))
-                    continue;
-                ++stats.capsExamined;
-                const uint64_t addr = line + i * kCapBytes;
-                uint64_t lo_word, hi_word;
-                const uint64_t off = addr & (kPageBytes - 1);
-                std::memcpy(&lo_word, page->data.data() + off, 8);
-                std::memcpy(&hi_word, page->data.data() + off + 8, 8);
-                const uint64_t base =
-                    cap::Capability::decodeBase(lo_word, hi_word);
-                if (sink) {
-                    sink->access(mem::shadowAddrOf(base), 1, false);
-                }
-                if (shadow.isRevoked(base)) {
-                    memory.clearTagAt(addr);
-                    ++stats.capsRevoked;
-                    revoked_in_line = true;
-                }
             }
-            if (revoked_in_line && sink) {
-                sink->access(line, kLineBytes, true);
-                sink->revocationTagWrite(line);
+
+            any_tag_found = true;
+            for (unsigned l = 0; l < kLinesPerWord; ++l) {
+                const uint64_t line = sub + l * kLineBytes;
+                const uint8_t mask = static_cast<uint8_t>(
+                    (word >> (l * kCapsPerLine)) & kLineMaskBits);
+
+                if (options_.useCloadTags) {
+                    stats.kernelCycles += kCloadTagsCycles;
+                    if (sink) {
+                        sink->cloadTags(line, region_has_tags(),
+                                        options_.cloadTagsPrefetch,
+                                        mask != 0);
+                    }
+                    if (mask == 0) {
+                        ++stats.linesSkippedTags;
+                        continue;
+                    }
+                }
+
+                ++stats.linesSwept;
+                stats.kernelCycles +=
+                    kernelCyclesForLine(costs, popCount(mask));
+                if (sink)
+                    sink->access(line, kLineBytes, false);
+                if (mask == 0)
+                    continue;
+
+                bool revoked_in_line = false;
+                uint8_t pending = mask;
+                while (pending) {
+                    const unsigned i = static_cast<unsigned>(
+                        std::countr_zero(pending));
+                    pending &= static_cast<uint8_t>(pending - 1);
+                    ++stats.capsExamined;
+                    const uint64_t addr = line + i * kCapBytes;
+                    uint64_t lo_word, hi_word;
+                    const uint64_t off = addr & (kPageBytes - 1);
+                    std::memcpy(&lo_word, page->data.data() + off, 8);
+                    std::memcpy(&hi_word,
+                                page->data.data() + off + 8, 8);
+                    const uint64_t base =
+                        cap::Capability::decodeBase(lo_word, hi_word);
+                    if (sink) {
+                        sink->access(mem::shadowAddrOf(base), 1,
+                                     false);
+                    }
+                    if (shadow.isRevoked(base)) {
+                        page->clearGranuleTag(static_cast<unsigned>(
+                            off >> kGranuleShift));
+                        ++stats.capsRevoked;
+                        revoked_in_line = true;
+                    }
+                }
+                if (revoked_in_line && sink) {
+                    sink->access(line, kLineBytes, true);
+                    sink->revocationTagWrite(line);
+                }
             }
         }
 

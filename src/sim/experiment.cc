@@ -97,6 +97,7 @@ runBenchmark(const workload::BenchmarkProfile &profile,
     engine_cfg.sweep.threads = config.threads;
     engine_cfg.policy = config.policy;
     engine_cfg.pagesPerSlice = config.pagesPerSlice;
+    engine_cfg.paintShards = config.paintShards;
     revoke::RevocationEngine revoker(allocator, space, engine_cfg);
     std::unique_ptr<cache::Hierarchy> hierarchy;
     if (config.modelTraffic) {

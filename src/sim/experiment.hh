@@ -49,6 +49,10 @@ struct ExperimentConfig
     revoke::PolicyKind policy = revoke::PolicyKind::StopTheWorld;
     /** Pages per bounded pause (incremental/concurrent policies). */
     size_t pagesPerSlice = 64;
+    /** Quarantine address bands painted concurrently at epoch open
+     *  (1 = unsharded serial paint); results are bit-identical to
+     *  serial for every shard count. */
+    unsigned paintShards = 1;
     double scale = 1.0 / 64;
     double durationSec = 1.5;
     uint64_t seed = 42;
