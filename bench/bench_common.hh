@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/env.hh"
 #include "support/logging.hh"
 #include "sim/experiment.hh"
 
@@ -33,13 +34,22 @@ printSystems(const char *title)
 /**
  * Default experiment configuration used by the figure benches.
  *
- * Every figure driver honours three environment overrides so the
- * whole suite can be reproduced under any policy × thread-count ×
- * paint-shard combination of the revocation engine:
- *   CHERIVOKE_POLICY       = stw | stop-the-world | incremental |
- *                            concurrent
- *   CHERIVOKE_THREADS      = sweep worker count (default 1)
- *   CHERIVOKE_PAINT_SHARDS = concurrent painter threads (default 1)
+ * Every figure driver honours the policy/threads/paint-shard
+ * overrides so the whole suite can be reproduced under any engine
+ * configuration; the tenant knobs configure drivers built on
+ * sim::runMultiTenantBenchmark (bench/tenant_scale):
+ *   CHERIVOKE_POLICY         = stw | stop-the-world | incremental |
+ *                              concurrent
+ *   CHERIVOKE_THREADS        = sweep worker count (default 1)
+ *   CHERIVOKE_PAINT_SHARDS   = concurrent painter threads (default 1)
+ *   CHERIVOKE_TENANTS        = co-resident tenant count (default 1)
+ *   CHERIVOKE_TENANT_SCOPE   = per-tenant | global
+ *   CHERIVOKE_TENANT_HEAP_MIB= per-tenant live-heap target override
+ *   CHERIVOKE_TENANT_WEIGHTS = scheduling shares, e.g. "2,1,1"
+ *
+ * Parsing is strict (support/env.hh): a set-but-malformed value such
+ * as CHERIVOKE_THREADS=abc fails the run with a clear error instead
+ * of silently running the default configuration.
  */
 inline sim::ExperimentConfig
 defaultConfig()
@@ -52,21 +62,27 @@ defaultConfig()
     cfg.seed = 42;
     if (const char *policy = std::getenv("CHERIVOKE_POLICY")) {
         if (!revoke::parsePolicy(policy, cfg.policy))
-            fatal("unknown CHERIVOKE_POLICY '%s'", policy);
+            fatal("CHERIVOKE_POLICY: unknown policy '%s'", policy);
     }
-    if (const char *threads = std::getenv("CHERIVOKE_THREADS")) {
-        const long n = std::strtol(threads, nullptr, 10);
-        if (n < 1)
-            fatal("bad CHERIVOKE_THREADS '%s'", threads);
-        cfg.threads = static_cast<unsigned>(n);
+    cfg.threads = static_cast<unsigned>(
+        envI64("CHERIVOKE_THREADS", cfg.threads));
+    cfg.paintShards = static_cast<unsigned>(
+        envI64("CHERIVOKE_PAINT_SHARDS", cfg.paintShards));
+    cfg.tenants = static_cast<unsigned>(
+        envI64("CHERIVOKE_TENANTS", cfg.tenants));
+    if (const char *scope = std::getenv("CHERIVOKE_TENANT_SCOPE")) {
+        if (!tenant::parseScope(scope, cfg.tenantScope))
+            fatal("CHERIVOKE_TENANT_SCOPE: unknown scope '%s' "
+                  "(expected per-tenant or global)",
+                  scope);
     }
-    if (const char *shards =
-            std::getenv("CHERIVOKE_PAINT_SHARDS")) {
-        const long n = std::strtol(shards, nullptr, 10);
-        if (n < 1)
-            fatal("bad CHERIVOKE_PAINT_SHARDS '%s'", shards);
-        cfg.paintShards = static_cast<unsigned>(n);
-    }
+    cfg.tenantHeapMiB =
+        envF64("CHERIVOKE_TENANT_HEAP_MIB", cfg.tenantHeapMiB, 0);
+    cfg.tenantWeights = envF64List("CHERIVOKE_TENANT_WEIGHTS");
+    if (!cfg.tenantWeights.empty() &&
+        cfg.tenantWeights.size() != cfg.tenants)
+        fatal("CHERIVOKE_TENANT_WEIGHTS: %zu weights for %u tenants",
+              cfg.tenantWeights.size(), cfg.tenants);
     return cfg;
 }
 

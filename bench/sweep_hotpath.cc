@@ -18,7 +18,7 @@
  * into BENCH_sweep.json so the perf trajectory is tracked PR over
  * PR.
  *
- * Environment knobs:
+ * Environment knobs (strict: malformed values fail the run):
  *   CHERIVOKE_BENCH_ALLOCS = image size in allocations (default 80000)
  *   CHERIVOKE_BENCH_SECS   = min measure window per config (default 0.2)
  */
@@ -33,6 +33,7 @@
 #include "alloc/cherivoke_alloc.hh"
 #include "revoke/sweeper.hh"
 #include "stats/table.hh"
+#include "support/env.hh"
 #include "support/rng.hh"
 
 using namespace cherivoke;
@@ -45,28 +46,6 @@ now()
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
-}
-
-uint64_t
-envU64(const char *name, uint64_t fallback)
-{
-    if (const char *s = std::getenv(name)) {
-        const long long v = std::strtoll(s, nullptr, 10);
-        if (v > 0)
-            return static_cast<uint64_t>(v);
-    }
-    return fallback;
-}
-
-double
-envF64(const char *name, double fallback)
-{
-    if (const char *s = std::getenv(name)) {
-        const double v = std::strtod(s, nullptr);
-        if (v > 0)
-            return v;
-    }
-    return fallback;
 }
 
 /** Snapshot of the heap's whole shadow span. */
@@ -115,7 +94,8 @@ struct SweepRow
 int
 main()
 {
-    const uint64_t allocs = envU64("CHERIVOKE_BENCH_ALLOCS", 80000);
+    const uint64_t allocs = static_cast<uint64_t>(
+        envI64("CHERIVOKE_BENCH_ALLOCS", 80000));
     const double window = envF64("CHERIVOKE_BENCH_SECS", 0.2);
 
     std::printf("==============================================\n");

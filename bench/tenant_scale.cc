@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Multi-tenant consolidation scaling bench: sweep throughput and
+ * traffic overhead versus tenant count, at a constant aggregate of
+ * 1M+ live allocations (PICASSO-scale) split across N co-resident
+ * tenants sharing one TaggedMemory and one RevocationEngine.
+ *
+ * The aggregate workload is held constant across rows — per-tenant
+ * heap and free rate are 1/N of the aggregate — so the tenant-count
+ * axis isolates *consolidation density*: same total live data, same
+ * total free traffic, more isolated quarantines and more (smaller)
+ * per-region sweeps.
+ *
+ * Gates (any failure exits non-zero):
+ *  - scale: the max-tenant row must sustain >= the configured
+ *    aggregate live allocations (default 1M across 8 tenants);
+ *  - determinism: the max-tenant row is replayed twice from the
+ *    *same binary-codec round-tripped traces*; every reported
+ *    statistic must be bit-identical;
+ *  - single-tenant equivalence: a 1-tenant manager run must
+ *    reproduce the classic single-process TraceDriver pipeline's
+ *    revocation statistics bit-identically.
+ *
+ * Results go to stdout and BENCH_tenant.json (trajectory tracking,
+ * uploaded by CI next to BENCH_sweep.json).
+ *
+ * Environment (strict parsing; see bench_common.hh for the shared
+ * engine knobs which all apply here too):
+ *   CHERIVOKE_TENANT_AGG_ALLOCS = aggregate live-allocation target
+ *                                 (default 1000000)
+ *   CHERIVOKE_TENANT_MAX        = largest tenant count (default 8)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "stats/table.hh"
+#include "tenant/trace_codec.hh"
+
+using namespace cherivoke;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Mean allocation size the profile implies (table 2 identity). */
+constexpr double kMeanAllocBytes = 128.0;
+/** Aggregate free traffic, split evenly across tenants. */
+constexpr double kAggFreeRateMiBps = 64.0;
+
+/**
+ * The consolidated-service profile for N tenants: each tenant is a
+ * 1/N slice of a constant aggregate (live bytes and free traffic),
+ * so sweep period and total work are comparable across rows.
+ * FIFO object lifetimes (temporalFragmentation 0) keep synthesis
+ * linear-time at millions of live objects.
+ */
+workload::BenchmarkProfile
+sliceProfile(unsigned tenants, uint64_t agg_allocs)
+{
+    workload::BenchmarkProfile p;
+    p.name = "tenant_slice";
+    p.pagesWithPointers = 0.35;
+    p.linePointerDensity = 0.06;
+    p.temporalFragmentation = 0;
+    // Ramp target: agg_allocs allocations of ~125 B expected size,
+    // plus margin so the allocation *count* target is certainly met.
+    const double agg_heap_bytes =
+        static_cast<double>(agg_allocs) * kMeanAllocBytes * 1.10;
+    p.liveHeapMiB = agg_heap_bytes / MiB / tenants;
+    p.freeRateMiBps = kAggFreeRateMiBps / tenants;
+    p.freesPerSec =
+        kAggFreeRateMiBps * MiB / kMeanAllocBytes / tenants;
+    p.appDramMiBps = 2000.0 / tenants; //!< per-tenant app traffic
+    return p;
+}
+
+sim::ExperimentConfig
+rowConfig(unsigned tenants)
+{
+    sim::ExperimentConfig cfg = bench::defaultConfig();
+    // The tenant count IS this bench's x-axis and the heap targets
+    // come from sliceProfile, so the CHERIVOKE_TENANTS /
+    // _TENANT_WEIGHTS / _TENANT_HEAP_MIB overrides do not apply
+    // here (policy, threads, shards, and _TENANT_SCOPE still do).
+    cfg.tenants = tenants;
+    cfg.tenantWeights.clear();
+    cfg.tenantHeapMiB = 0;
+    cfg.scale = 1.0; //!< real allocation counts, no scaling
+    cfg.durationSec = 2.0;
+    return cfg;
+}
+
+struct Row
+{
+    unsigned tenants = 0;
+    sim::MultiTenantBenchResult bench;
+    double wallSec = 0;
+};
+
+/**
+ * Render every statistic the row reports into one string; rows are
+ * "bit-identical" when these strings match byte for byte. Doubles
+ * print with %.17g, which round-trips IEEE doubles exactly.
+ */
+std::string
+statsFingerprint(const sim::MultiTenantBenchResult &r)
+{
+    std::string out;
+    char buf[256];
+    auto add = [&](const char *key, double v) {
+        std::snprintf(buf, sizeof(buf), "%s=%.17g\n", key, v);
+        out += buf;
+    };
+    auto addU = [&](const char *key, uint64_t v) {
+        std::snprintf(buf, sizeof(buf), "%s=%llu\n", key,
+                      static_cast<unsigned long long>(v));
+        out += buf;
+    };
+    const tenant::MultiTenantResult &m = r.run;
+    addU("ops", m.totalOps);
+    addU("allocs", m.allocCalls);
+    addU("frees", m.freeCalls);
+    addU("freed_bytes", m.freedBytes);
+    addU("ptr_stores", m.ptrStores);
+    addU("peak_agg_live_allocs", m.peakAggLiveAllocs);
+    addU("peak_agg_live_bytes", m.peakAggLiveBytes);
+    addU("peak_agg_quarantine", m.peakAggQuarantineBytes);
+    addU("peak_agg_footprint", m.peakAggFootprintBytes);
+    addU("epochs", m.engine.epochs);
+    addU("slices", m.engine.slices);
+    addU("paint_ops", m.engine.paint.total());
+    addU("pages_swept", m.engine.sweep.pagesSwept);
+    addU("pages_skipped", m.engine.sweep.pagesSkippedPte);
+    addU("lines_swept", m.engine.sweep.linesSwept);
+    addU("caps_examined", m.engine.sweep.capsExamined);
+    addU("caps_revoked", m.engine.sweep.capsRevoked);
+    addU("internal_frees", m.engine.internalFrees);
+    addU("bytes_released", m.engine.bytesReleased);
+    add("virtual_sec", m.virtualSeconds);
+    add("sweep_overhead", r.sweepOverhead);
+    add("shadow_overhead", r.shadowOverhead);
+    add("traffic_pct", r.trafficOverheadPct);
+    add("scan_rate", r.achievedScanRate);
+    for (const tenant::TenantResult &t : m.tenants) {
+        addU("t_epochs", t.run.revoker.epochs);
+        addU("t_caps_revoked", t.run.revoker.sweep.capsRevoked);
+        addU("t_peak_live_allocs", t.run.peakLiveAllocs);
+        add("t_virtual_sec", t.run.virtualSeconds);
+        add("t_page_density", t.run.pageDensity);
+        add("t_line_density", t.run.lineDensity);
+    }
+    return out;
+}
+
+/** Round every tenant trace through the binary codec: record once,
+ *  replay exactly. */
+std::vector<workload::Trace>
+codecRoundTrip(const std::vector<workload::Trace> &traces)
+{
+    std::vector<workload::Trace> out;
+    out.reserve(traces.size());
+    for (const workload::Trace &t : traces)
+        out.push_back(tenant::decodeTrace(tenant::encodeTrace(t)));
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const uint64_t agg_allocs = static_cast<uint64_t>(
+        envI64("CHERIVOKE_TENANT_AGG_ALLOCS", 1000000));
+    const unsigned max_tenants = static_cast<unsigned>(
+        envI64("CHERIVOKE_TENANT_MAX", 8));
+
+    bench::printSystems("Multi-tenant consolidation scaling "
+                        "(bench/tenant_scale)");
+    std::printf("aggregate live-allocation target: %llu across up "
+                "to %u tenants\n\n",
+                static_cast<unsigned long long>(agg_allocs),
+                max_tenants);
+
+    std::vector<unsigned> counts;
+    for (unsigned n = 1; n <= max_tenants; n *= 2)
+        counts.push_back(n);
+    if (counts.back() != max_tenants)
+        counts.push_back(max_tenants);
+
+    bool ok = true;
+    std::vector<Row> rows;
+    std::string det_fingerprint_a, det_fingerprint_b;
+
+    for (unsigned n : counts) {
+        const workload::BenchmarkProfile profile =
+            sliceProfile(n, agg_allocs);
+        const sim::ExperimentConfig cfg = rowConfig(n);
+
+        // Record once through the binary codec, then replay — the
+        // deterministic-replay interchange path, not a side channel.
+        const std::vector<workload::Trace> traces = codecRoundTrip(
+            sim::synthesizeTenantTraces(profile, cfg));
+
+        Row row;
+        row.tenants = n;
+        const double t0 = now();
+        row.bench = sim::runMultiTenantBenchmark(
+            profile, cfg, sim::MachineProfile::x86(), &traces);
+        row.wallSec = now() - t0;
+
+        if (n == counts.back()) {
+            // Determinism gate: identical traces, fresh manager —
+            // every statistic must come out bit-identical.
+            det_fingerprint_a = statsFingerprint(row.bench);
+            const sim::MultiTenantBenchResult again =
+                sim::runMultiTenantBenchmark(
+                    profile, cfg, sim::MachineProfile::x86(),
+                    &traces);
+            det_fingerprint_b = statsFingerprint(again);
+            if (det_fingerprint_a != det_fingerprint_b) {
+                std::printf("FAILED: max-tenant replay diverged "
+                            "between two runs of the same traces\n");
+                ok = false;
+            }
+            if (row.bench.run.peakAggLiveAllocs < agg_allocs) {
+                std::printf(
+                    "FAILED: peak aggregate live allocations %llu "
+                    "below the %llu target\n",
+                    static_cast<unsigned long long>(
+                        row.bench.run.peakAggLiveAllocs),
+                    static_cast<unsigned long long>(agg_allocs));
+                ok = false;
+            }
+        }
+        rows.push_back(std::move(row));
+    }
+
+    // Single-tenant equivalence gate: the classic single-process
+    // pipeline (runBenchmark -> TraceDriver) must match the 1-tenant
+    // manager run statistic for statistic.
+    bool single_match = true;
+    {
+        const workload::BenchmarkProfile profile =
+            sliceProfile(1, agg_allocs);
+        const sim::ExperimentConfig cfg = rowConfig(1);
+        const sim::BenchResult classic =
+            sim::runBenchmark(profile, cfg);
+        const workload::DriverResult &a = classic.run;
+        const workload::DriverResult &b = rows[0].bench.run
+                                              .tenants[0].run;
+        single_match =
+            a.revoker == b.revoker &&
+            a.allocCalls == b.allocCalls &&
+            a.freeCalls == b.freeCalls &&
+            a.freedBytes == b.freedBytes &&
+            a.ptrStores == b.ptrStores &&
+            a.peakLiveBytes == b.peakLiveBytes &&
+            a.peakQuarantineBytes == b.peakQuarantineBytes &&
+            a.peakFootprintBytes == b.peakFootprintBytes &&
+            a.pageDensity == b.pageDensity &&
+            a.lineDensity == b.lineDensity &&
+            a.virtualSeconds == b.virtualSeconds;
+        if (!single_match) {
+            std::printf("FAILED: 1-tenant manager run diverged from "
+                        "the single-process TraceDriver pipeline\n");
+            ok = false;
+        }
+    }
+
+    // ---- Report -------------------------------------------------
+    stats::TextTable table({"tenants", "ops", "peak live allocs",
+                            "epochs", "Mpages swept", "sweep ovh %",
+                            "traffic %", "wall s", "ops/s"});
+    for (const Row &r : rows) {
+        const tenant::MultiTenantResult &m = r.bench.run;
+        table.addRow(
+            {std::to_string(r.tenants),
+             std::to_string(m.totalOps),
+             std::to_string(m.peakAggLiveAllocs),
+             std::to_string(m.engine.epochs),
+             stats::TextTable::num(
+                 static_cast<double>(m.engine.sweep.pagesSwept) /
+                     1e6, 3),
+             stats::TextTable::num(r.bench.sweepOverhead * 100, 2),
+             stats::TextTable::num(r.bench.trafficOverheadPct, 2),
+             stats::TextTable::num(r.wallSec, 2),
+             stats::TextTable::num(
+                 static_cast<double>(m.totalOps) / r.wallSec, 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("per-tenant epoch spread (max row): mean %.1f "
+                "min %.0f max %.0f\n",
+                rows.back().bench.run.tenantEpochs.mean(),
+                rows.back().bench.run.tenantEpochs.min(),
+                rows.back().bench.run.tenantEpochs.max());
+
+    // ---- BENCH_tenant.json --------------------------------------
+    FILE *json = std::fopen("BENCH_tenant.json", "w");
+    if (json) {
+        std::fprintf(json, "{\n");
+        std::fprintf(json, "  \"bench\": \"tenant_scale\",\n");
+        std::fprintf(json, "  \"agg_alloc_target\": %llu,\n",
+                     static_cast<unsigned long long>(agg_allocs));
+        std::fprintf(json, "  \"rows\": [\n");
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            const tenant::MultiTenantResult &m = r.bench.run;
+            std::fprintf(
+                json,
+                "    {\"tenants\": %u, \"ops\": %llu, "
+                "\"peak_live_allocs\": %llu, "
+                "\"peak_live_bytes\": %llu, \"epochs\": %llu, "
+                "\"pages_swept\": %llu, \"caps_revoked\": %llu, "
+                "\"sweep_overhead\": %.6g, "
+                "\"shadow_overhead\": %.6g, "
+                "\"traffic_pct\": %.6g, \"scan_rate\": %.6g, "
+                "\"wall_sec\": %.6g, \"ops_per_sec\": %.6g}%s\n",
+                r.tenants,
+                static_cast<unsigned long long>(m.totalOps),
+                static_cast<unsigned long long>(
+                    m.peakAggLiveAllocs),
+                static_cast<unsigned long long>(m.peakAggLiveBytes),
+                static_cast<unsigned long long>(m.engine.epochs),
+                static_cast<unsigned long long>(
+                    m.engine.sweep.pagesSwept),
+                static_cast<unsigned long long>(
+                    m.engine.sweep.capsRevoked),
+                r.bench.sweepOverhead, r.bench.shadowOverhead,
+                r.bench.trafficOverheadPct, r.bench.achievedScanRate,
+                r.wallSec,
+                static_cast<double>(m.totalOps) / r.wallSec,
+                i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(json, "  ],\n");
+        std::fprintf(json, "  \"deterministic\": %s,\n",
+                     det_fingerprint_a == det_fingerprint_b
+                         ? "true" : "false");
+        std::fprintf(json, "  \"single_tenant_match\": %s,\n",
+                     single_match ? "true" : "false");
+        std::fprintf(json, "  \"ok\": %s\n", ok ? "true" : "false");
+        std::fprintf(json, "}\n");
+        std::fclose(json);
+        std::printf("wrote BENCH_tenant.json\n");
+    }
+
+    if (ok) {
+        std::printf("OK: deterministic replay, %llu+ aggregate live "
+                    "allocations, single-tenant parity\n",
+                    static_cast<unsigned long long>(agg_allocs));
+    } else {
+        std::printf("FAILED: see gates above\n");
+    }
+    return ok ? 0 : 1;
+}

@@ -1,19 +1,28 @@
 /**
  * @file
- * Trace player: replay an allocation trace (from a file, or a
- * built-in demo trace) through the CHERIvoke allocator and print the
- * run's measured statistics. Demonstrates the text trace format and
- * the driver API.
+ * Trace player: replay an allocation trace through the CHERIvoke
+ * allocator and print the run's measured statistics. Demonstrates
+ * both trace formats — the human-readable text format and the
+ * compact binary codec (tenant/trace_codec.hh) — and the driver API.
  *
- * Run: ./trace_player [trace-file]
- *      ./trace_player --demo         (synthesise + save + replay)
+ * Run: ./trace_player [trace-file]    file may be text or binary;
+ *                                     the format is sniffed from the
+ *                                     magic. A tiny bundled demo
+ *                                     lives at examples/demo.cvt.
+ *      ./trace_player --demo          synthesise a dealII workload,
+ *                                     round-trip it through the
+ *                                     binary codec, replay it
+ *      ./trace_player --record FILE   write the built-in demo trace
+ *                                     to FILE in the binary format
  */
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "revoke/revocation_engine.hh"
+#include "support/logging.hh"
+#include "tenant/trace_codec.hh"
 #include "workload/driver.hh"
 #include "workload/synth.hh"
 
@@ -45,27 +54,40 @@ free 3 0 0 0 0 0.001
 int
 main(int argc, char **argv)
 {
+    const std::string mode = argc > 1 ? argv[1] : "";
     workload::Trace trace;
-    if (argc > 1 && std::string(argv[1]) != "--demo") {
-        std::ifstream file(argv[1]);
-        if (!file) {
-            std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    if (mode == "--record") {
+        if (argc < 3) {
+            std::fprintf(stderr, "usage: trace_player --record FILE\n");
             return 1;
         }
-        trace = workload::Trace::load(file);
+        trace = demoTrace();
+        tenant::saveTraceFile(argv[2], trace);
+        std::printf("wrote the %zu-op demo trace to %s (%zu bytes, "
+                    "binary)\n",
+                    trace.ops.size(), argv[2],
+                    tenant::encodedTraceBytes(trace));
+        return 0;
+    } else if (mode == "--demo") {
+        // Synthesise a real workload and round-trip it through the
+        // binary codec before replaying — record once, replay exact.
+        trace = workload::synthesize(workload::profileFor("dealII"));
+        const std::vector<uint8_t> bytes = tenant::encodeTrace(trace);
+        trace = tenant::decodeTrace(bytes);
+        std::printf("synthesised dealII trace: %zu ops, %.2f "
+                    "virtual seconds, %zu bytes encoded\n",
+                    trace.ops.size(), trace.virtualSeconds(),
+                    bytes.size());
+    } else if (argc > 1) {
+        // Binary or text, decided by the file's magic.
+        try {
+            trace = tenant::loadTraceFile(argv[1]);
+        } catch (const FatalError &err) {
+            std::fprintf(stderr, "%s\n", err.what());
+            return 1;
+        }
         std::printf("loaded %zu ops from %s\n", trace.ops.size(),
                     argv[1]);
-    } else if (argc > 1) {
-        // --demo: synthesise a real workload, save it, reload it.
-        trace = workload::synthesize(
-            workload::profileFor("dealII"));
-        std::ostringstream buffer;
-        trace.save(buffer);
-        std::istringstream reload(buffer.str());
-        trace = workload::Trace::load(reload);
-        std::printf("synthesised dealII trace: %zu ops, %.2f "
-                    "virtual seconds\n",
-                    trace.ops.size(), trace.virtualSeconds());
     } else {
         trace = demoTrace();
         std::printf("playing the built-in demo trace (%zu ops)\n",
@@ -100,6 +122,8 @@ main(int argc, char **argv)
                     r.revoker.sweep.capsRevoked));
     std::printf("  peak live         %llu B\n",
                 static_cast<unsigned long long>(r.peakLiveBytes));
+    std::printf("  peak live allocs  %llu\n",
+                static_cast<unsigned long long>(r.peakLiveAllocs));
     std::printf("  peak quarantine   %llu B\n",
                 static_cast<unsigned long long>(
                     r.peakQuarantineBytes));

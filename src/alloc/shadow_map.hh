@@ -45,6 +45,7 @@ struct PaintStats
         return bitOps + byteOps + wordOps + dwordOps;
     }
     PaintStats &operator+=(const PaintStats &o);
+    bool operator==(const PaintStats &o) const = default;
 };
 
 /**

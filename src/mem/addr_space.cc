@@ -8,17 +8,46 @@
 namespace cherivoke {
 namespace mem {
 
-AddressSpace::AddressSpace(uint64_t globals_size, uint64_t stack_size)
-    : root_(cap::Capability::root())
+AddressSpace::Layout
+AddressSpace::Layout::shifted(uint64_t offset) const
 {
-    globals_ = Segment{"globals", kGlobalsBase,
+    return Layout{globalsBase + offset, heapBase + offset,
+                  stackBase + offset};
+}
+
+AddressSpace::AddressSpace(uint64_t globals_size, uint64_t stack_size)
+    : owned_(std::make_unique<TaggedMemory>()), mem_(owned_.get()),
+      root_(cap::Capability::root())
+{
+    layOut(globals_size, stack_size);
+}
+
+AddressSpace::AddressSpace(TaggedMemory &memory, const Layout &layout,
+                           uint64_t globals_size, uint64_t stack_size)
+    : mem_(&memory), layout_(layout), root_(cap::Capability::root())
+{
+    layOut(globals_size, stack_size);
+}
+
+void
+AddressSpace::layOut(uint64_t globals_size, uint64_t stack_size)
+{
+    CHERIVOKE_ASSERT(layout_.globalsBase < layout_.heapBase &&
+                         layout_.heapBase < layout_.stackBase,
+                     "(layout segments out of order)");
+    CHERIVOKE_ASSERT(layout_.stackBase + stack_size <= kShadowBase,
+                     "(process image overlaps the shadow region)");
+    heap_brk_ = layout_.heapBase;
+    globals_ = Segment{"globals", layout_.globalsBase,
                        alignUp(globals_size, kPageBytes)};
-    stack_ = Segment{"stack", kStackBase,
+    stack_ = Segment{"stack", layout_.stackBase,
                      alignUp(stack_size, kPageBytes)};
-    memory_.pageTable().map(globals_.base, globals_.size,
-                            ProtRead | ProtWrite);
-    memory_.pageTable().map(stack_.base, stack_.size,
-                            ProtRead | ProtWrite);
+    CHERIVOKE_ASSERT(globals_.end() <= layout_.heapBase,
+                     "(globals segment overlaps the heap)");
+    mem_->pageTable().map(globals_.base, globals_.size,
+                          ProtRead | ProtWrite);
+    mem_->pageTable().map(stack_.base, stack_.size,
+                          ProtRead | ProtWrite);
     mapShadowFor(globals_.base, globals_.size);
     mapShadowFor(stack_.base, stack_.size);
 }
@@ -31,8 +60,8 @@ AddressSpace::mapShadowFor(uint64_t base, uint64_t size)
     const uint64_t shadow_lo = alignDown(shadowAddrOf(base), kPageBytes);
     const uint64_t shadow_hi =
         alignUp(shadowAddrOf(base + size), kPageBytes);
-    memory_.pageTable().map(shadow_lo, shadow_hi - shadow_lo,
-                            ProtRead | ProtWrite);
+    mem_->pageTable().map(shadow_lo, shadow_hi - shadow_lo,
+                          ProtRead | ProtWrite);
 }
 
 uint64_t
@@ -41,9 +70,9 @@ AddressSpace::mmapHeap(uint64_t size)
     CHERIVOKE_ASSERT(size > 0);
     const uint64_t mapped = alignUp(size, kPageBytes);
     const uint64_t base = heap_brk_;
-    CHERIVOKE_ASSERT(base + mapped <= kStackBase,
+    CHERIVOKE_ASSERT(base + mapped <= layout_.stackBase,
                      "(heap collided with stack segment)");
-    memory_.pageTable().map(base, mapped, ProtRead | ProtWrite);
+    mem_->pageTable().map(base, mapped, ProtRead | ProtWrite);
     mapShadowFor(base, mapped);
     heap_.push_back(Segment{"heap", base, mapped});
     heap_brk_ += mapped;
@@ -60,7 +89,7 @@ AddressSpace::munmapHeap(uint64_t base, uint64_t size)
                            });
     CHERIVOKE_ASSERT(it != heap_.end(),
                      "(munmapHeap of unknown region)");
-    memory_.pageTable().unmap(base, mapped);
+    mem_->pageTable().unmap(base, mapped);
     // Unmap the shadow only where no other heap region still needs it
     // (regions are page-aligned and disjoint, and one shadow page
     // covers 512 KiB of heap, so simply leave boundary pages mapped).
@@ -68,7 +97,7 @@ AddressSpace::munmapHeap(uint64_t base, uint64_t size)
     const uint64_t shadow_hi =
         alignDown(shadowAddrOf(base + mapped), kPageBytes);
     if (shadow_hi > shadow_lo)
-        memory_.pageTable().unmap(shadow_lo, shadow_hi - shadow_lo);
+        mem_->pageTable().unmap(shadow_lo, shadow_hi - shadow_lo);
     heap_.erase(it);
 }
 

@@ -5,6 +5,12 @@
  * shadow region at a fixed transform from the heap (paper §5.2:
  * "each mmap() call is accompanied by a smaller mapping at a fixed
  * transform from the original allocation").
+ *
+ * An AddressSpace normally owns its TaggedMemory, but it can also be
+ * bound to an *external* shared TaggedMemory with a relocated segment
+ * Layout: that is how the tenant subsystem carves N isolated process
+ * images out of one simulated physical memory, so their sweeps and
+ * shadow maps genuinely contend on shared state.
  */
 
 #ifndef CHERIVOKE_MEM_ADDR_SPACE_HH
@@ -12,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -76,15 +83,45 @@ class AddressSpace
 {
   public:
     /**
+     * Segment bases of one process image. The defaults are the
+     * classic single-process layout; the tenant subsystem shifts all
+     * three bases by a per-tenant stride to pack many images into
+     * one shared TaggedMemory. `stackBase` doubles as the heap
+     * limit, so a layout also bounds how far mmapHeap may grow.
+     */
+    struct Layout
+    {
+        uint64_t globalsBase = kGlobalsBase;
+        uint64_t heapBase = kHeapBase;
+        uint64_t stackBase = kStackBase;
+
+        /** The default layout shifted up by @p offset bytes. */
+        Layout shifted(uint64_t offset) const;
+    };
+
+    /**
      * @param globals_size size of the .data/.bss segment
      * @param stack_size size of the stack segment
      */
     explicit AddressSpace(uint64_t globals_size = 4 * MiB,
                           uint64_t stack_size = 8 * MiB);
 
-    TaggedMemory &memory() { return memory_; }
-    const TaggedMemory &memory() const { return memory_; }
+    /**
+     * Bind the process image to an external @p memory shared with
+     * other address spaces, laying its segments out per @p layout.
+     * The caller must keep @p memory alive and ensure layouts of
+     * co-resident images are disjoint — overlapping segments would
+     * silently alias each other's pages.
+     */
+    AddressSpace(TaggedMemory &memory, const Layout &layout,
+                 uint64_t globals_size = 4 * MiB,
+                 uint64_t stack_size = 8 * MiB);
+
+    TaggedMemory &memory() { return *mem_; }
+    const TaggedMemory &memory() const { return *mem_; }
     RegisterFile &registers() { return regs_; }
+
+    const Layout &layout() const { return layout_; }
 
     /**
      * Simulated mmap for heap growth: maps @p size bytes (page
@@ -117,8 +154,11 @@ class AddressSpace
 
   private:
     void mapShadowFor(uint64_t base, uint64_t size);
+    void layOut(uint64_t globals_size, uint64_t stack_size);
 
-    TaggedMemory memory_;
+    std::unique_ptr<TaggedMemory> owned_; //!< empty when shared
+    TaggedMemory *mem_;
+    Layout layout_;
     RegisterFile regs_;
     Segment globals_;
     Segment stack_;

@@ -147,12 +147,12 @@ makePolicy(PolicyKind kind)
 RevocationEngine::RevocationEngine(
     alloc::CherivokeAllocator &allocator, mem::AddressSpace &space,
     EngineConfig config)
-    : allocator_(&allocator), space_(&space),
-      sweeper_(config.sweep), config_(config),
+    : sweeper_(config.sweep), config_(config),
       policy_(makePolicy(config.policy))
 {
     CHERIVOKE_ASSERT(config_.pagesPerSlice > 0);
     CHERIVOKE_ASSERT(config_.paintShards > 0);
+    domains_.push_back(Domain{&allocator, &space, EngineTotals{}});
 }
 
 RevocationEngine::RevocationEngine(
@@ -167,13 +167,35 @@ RevocationEngine::~RevocationEngine()
 {
     // Never leave a dangling barrier behind.
     if (barrier_on_)
-        space_->memory().removeLoadBarrier();
+        epochDomain().space->memory().removeLoadBarrier();
+}
+
+size_t
+RevocationEngine::addDomain(alloc::CherivokeAllocator &allocator,
+                            mem::AddressSpace &space)
+{
+    domains_.push_back(Domain{&allocator, &space, EngineTotals{}});
+    return domains_.size() - 1;
+}
+
+void
+RevocationEngine::selectDomain(size_t index)
+{
+    CHERIVOKE_ASSERT(index < domains_.size());
+    active_ = index;
+}
+
+const EngineTotals &
+RevocationEngine::domainTotals(size_t index) const
+{
+    CHERIVOKE_ASSERT(index < domains_.size());
+    return domains_[index].totals;
 }
 
 bool
 RevocationEngine::quarantinePressure() const
 {
-    return allocator_->needsSweep();
+    return allocator().needsSweep();
 }
 
 bool
@@ -194,7 +216,7 @@ EpochStats
 RevocationEngine::freeAndRevoke(const cap::Capability &capability,
                                 cache::Hierarchy *hierarchy)
 {
-    allocator_->free(capability);
+    allocator().free(capability);
     // An open epoch was frozen before this free: drain it, then run
     // a fresh epoch that covers the allocation just freed.
     return revokeNow(hierarchy);
@@ -216,30 +238,36 @@ RevocationEngine::beginEpoch()
 {
     CHERIVOKE_ASSERT(!open_, "(epoch already open)");
     open_ = true;
+    epoch_domain_ = active_;
+    Domain &dom = epochDomain();
     epoch_ = EpochStats{};
-    epoch_.bytesReleased = allocator_->quarantinedBytes();
+    epoch_.bytesReleased = dom.allocator->quarantinedBytes();
 
     // Freeze + paint this epoch's revocation set (sharded shadow-map
     // views when configured).
-    epoch_.paint = allocator_->prepareSweep(config_.paintShards);
+    epoch_.paint = dom.allocator->prepareSweep(config_.paintShards);
 
     if (policy_->needsLoadBarrier()) {
         // The barrier: loads of painted-base capabilities are
         // stripped. The shadow map is read-only for the duration of
         // the epoch (later frees wait for the next epoch), so the
-        // predicate is stable.
-        const alloc::ShadowMap &shadow = allocator_->shadowMap();
-        space_->memory().installLoadBarrier([&shadow](uint64_t base) {
-            return shadow.isRevoked(base);
-        });
+        // predicate is stable. The shadow lives in the (possibly
+        // shared) TaggedMemory, so with co-resident tenants every
+        // tenant's loads are checked — isRevoked is a pure function
+        // of the address.
+        const alloc::ShadowMap &shadow = dom.allocator->shadowMap();
+        dom.space->memory().installLoadBarrier(
+            [&shadow](uint64_t base) {
+                return shadow.isRevoked(base);
+            });
         barrier_on_ = true;
     }
 
     // Registers first: the mutator continues running out of them.
     epoch_.sweep +=
-        sweeper_.sweepRegisters(*space_, allocator_->shadowMap());
+        sweeper_.sweepRegisters(*dom.space, dom.allocator->shadowMap());
 
-    worklist_ = sweeper_.buildWorklist(*space_, epoch_.sweep);
+    worklist_ = sweeper_.buildWorklist(*dom.space, epoch_.sweep);
     next_ = 0;
 }
 
@@ -247,12 +275,13 @@ size_t
 RevocationEngine::step(size_t max_pages, cache::Hierarchy *hierarchy)
 {
     CHERIVOKE_ASSERT(open_, "(step without an open epoch)");
+    Domain &dom = epochDomain();
     if (next_ < worklist_.size() && max_pages > 0) {
         const size_t end = next_ + std::min(max_pages,
                                             worklist_.size() - next_);
         epoch_.sweep += sweeper_.sweepPages(
-            *space_, allocator_->shadowMap(), worklist_, next_, end,
-            hierarchy);
+            *dom.space, dom.allocator->shadowMap(), worklist_, next_,
+            end, hierarchy);
         next_ = end;
         ++epoch_.slices;
     }
@@ -266,26 +295,31 @@ RevocationEngine::finishEpoch()
     CHERIVOKE_ASSERT(next_ == worklist_.size(),
                      "(worklist not drained: call step() to "
                      "completion first)");
+    Domain &dom = epochDomain();
     if (barrier_on_) {
         // The registers once more (they were swept at begin and the
         // barrier kept them clean, but it is cheap), then the
         // barrier comes off.
-        epoch_.sweep +=
-            sweeper_.sweepRegisters(*space_, allocator_->shadowMap());
-        space_->memory().removeLoadBarrier();
+        epoch_.sweep += sweeper_.sweepRegisters(
+            *dom.space, dom.allocator->shadowMap());
+        dom.space->memory().removeLoadBarrier();
         barrier_on_ = false;
     }
-    epoch_.internalFrees = allocator_->finishSweep();
+    epoch_.internalFrees = dom.allocator->finishSweep();
     open_ = false;
     worklist_.clear();
     next_ = 0;
 
-    ++totals_.epochs;
-    totals_.paint += epoch_.paint;
-    totals_.sweep += epoch_.sweep;
-    totals_.internalFrees += epoch_.internalFrees;
-    totals_.bytesReleased += epoch_.bytesReleased;
-    totals_.slices += epoch_.slices;
+    auto accumulate = [this](EngineTotals &totals) {
+        ++totals.epochs;
+        totals.paint += epoch_.paint;
+        totals.sweep += epoch_.sweep;
+        totals.internalFrees += epoch_.internalFrees;
+        totals.bytesReleased += epoch_.bytesReleased;
+        totals.slices += epoch_.slices;
+    };
+    accumulate(totals_);
+    accumulate(dom.totals);
     last_ = epoch_;
 }
 

@@ -20,6 +20,16 @@
  * The engine exposes the epoch building blocks (beginEpoch / step /
  * finishEpoch) directly, so drivers and tests can interleave sweeping
  * with mutator work under any barrier-bearing policy.
+ *
+ * One engine can serve several *domains* — (allocator, address-space)
+ * pairs, one per hosted tenant, all over the same shared TaggedMemory.
+ * selectDomain() binds pressure checks and newly opened epochs to a
+ * domain; an open epoch stays bound to the domain it began on, so
+ * under the concurrent policy any tenant's pump advances whichever
+ * epoch is in flight (mutator-assist across tenants — the cross-tenant
+ * sweep interference the multi-tenant experiments measure). Statistics
+ * accumulate both engine-wide (totals()) and per domain
+ * (domainTotals()).
  */
 
 #ifndef CHERIVOKE_REVOKE_REVOCATION_ENGINE_HH
@@ -56,6 +66,8 @@ struct EngineTotals
     uint64_t internalFrees = 0;
     uint64_t bytesReleased = 0;
     uint64_t slices = 0;
+
+    bool operator==(const EngineTotals &o) const = default;
 };
 
 /** Scheduling strategies the engine can dispatch to. */
@@ -143,6 +155,31 @@ class RevocationEngine
     RevocationEngine(const RevocationEngine &) = delete;
     RevocationEngine &operator=(const RevocationEngine &) = delete;
 
+    /** @name Domains (multi-tenant operation) */
+    /// @{
+
+    /**
+     * Register another (allocator, space) pair — a tenant — with
+     * this engine; the constructor's pair is domain 0. Both objects
+     * must outlive the engine. @return the new domain's index
+     */
+    size_t addDomain(alloc::CherivokeAllocator &allocator,
+                     mem::AddressSpace &space);
+
+    /**
+     * Bind quarantine-pressure checks and the *next* beginEpoch() to
+     * domain @p index. Legal while an epoch is open: the open epoch
+     * stays bound to the domain it began on.
+     */
+    void selectDomain(size_t index);
+
+    size_t activeDomain() const { return active_; }
+    size_t domainCount() const { return domains_.size(); }
+
+    /** Cumulative statistics of epochs begun on domain @p index. */
+    const EngineTotals &domainTotals(size_t index) const;
+    /// @}
+
     /** @name Policy-driven operation */
     /// @{
 
@@ -223,8 +260,25 @@ class RevocationEngine
     /// @}
 
   private:
-    alloc::CherivokeAllocator *allocator_;
-    mem::AddressSpace *space_;
+    /** One hosted (allocator, space) pair and its statistics. */
+    struct Domain
+    {
+        alloc::CherivokeAllocator *allocator;
+        mem::AddressSpace *space;
+        EngineTotals totals;
+    };
+
+    /** The active domain's allocator (pressure checks, new epochs). */
+    alloc::CherivokeAllocator &allocator() const
+    {
+        return *domains_[active_].allocator;
+    }
+    /** The open epoch's domain (falls back to active when closed). */
+    Domain &epochDomain() { return domains_[epoch_domain_]; }
+
+    std::vector<Domain> domains_;
+    size_t active_ = 0;       //!< domain new epochs bind to
+    size_t epoch_domain_ = 0; //!< domain of the open epoch
     Sweeper sweeper_;
     EngineConfig config_;
     std::unique_ptr<RevocationPolicy> policy_;

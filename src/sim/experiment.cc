@@ -44,20 +44,16 @@ freeBatchingGain(double frees_per_sec_real)
                     0.5 * kFreeCostSeconds * frees_per_sec_real);
 }
 
-} // namespace
-
-BenchResult
-runBenchmark(const workload::BenchmarkProfile &profile,
-             const ExperimentConfig &config,
-             const MachineProfile &machine)
+/**
+ * Synthesis settings for one process: the virtual duration must
+ * cover several sweep periods (period = Q * heap / free rate, which
+ * scaling leaves unchanged), or slow-freeing benchmarks would never
+ * trigger a sweep inside the run.
+ */
+workload::SynthConfig
+synthConfigFor(const workload::BenchmarkProfile &profile,
+               const ExperimentConfig &config)
 {
-    BenchResult result;
-    result.name = profile.name;
-
-    // Synthesise the workload at scale. The virtual duration must
-    // cover several sweep periods (period = Q * heap / free rate,
-    // which scaling leaves unchanged), or slow-freeing benchmarks
-    // would never trigger a sweep inside the run.
     workload::SynthConfig synth_cfg;
     synth_cfg.scale = config.scale;
     synth_cfg.durationSec = config.durationSec;
@@ -76,20 +72,27 @@ runBenchmark(const workload::BenchmarkProfile &profile,
             config.durationSec, std::min(60.0, 3.0 * period));
     }
     synth_cfg.seed = config.seed;
-    const workload::Trace trace =
-        workload::synthesize(profile, synth_cfg);
+    return synth_cfg;
+}
 
-    // Build the machine and replay.
-    mem::AddressSpace space(config.globalsBytes, config.stackBytes);
+/** The allocator tuning every experiment process uses: map the heap
+ *  in small steps so the mapped footprint tracks the scaled working
+ *  set (a reference-scale run maps 4 MiB chunks against hundreds of
+ *  MiB of heap). */
+alloc::CherivokeConfig
+allocConfigFor(const ExperimentConfig &config)
+{
     alloc::CherivokeConfig acfg;
     acfg.quarantineFraction = config.quarantineFraction;
     acfg.minQuarantineBytes = 64 * KiB;
-    // Map the heap in small steps so the mapped footprint tracks the
-    // scaled working set (a reference-scale run maps 4 MiB chunks
-    // against hundreds of MiB of heap).
     acfg.dl.initialHeapBytes = 1 * MiB;
     acfg.dl.growthChunkBytes = 512 * KiB;
-    alloc::CherivokeAllocator allocator(space, acfg);
+    return acfg;
+}
+
+revoke::EngineConfig
+engineConfigFor(const ExperimentConfig &config)
+{
     revoke::EngineConfig engine_cfg;
     engine_cfg.sweep.kernel = config.kernel;
     engine_cfg.sweep.usePteCapDirty = config.usePteCapDirty;
@@ -98,7 +101,29 @@ runBenchmark(const workload::BenchmarkProfile &profile,
     engine_cfg.policy = config.policy;
     engine_cfg.pagesPerSlice = config.pagesPerSlice;
     engine_cfg.paintShards = config.paintShards;
-    revoke::RevocationEngine revoker(allocator, space, engine_cfg);
+    return engine_cfg;
+}
+
+} // namespace
+
+BenchResult
+runBenchmark(const workload::BenchmarkProfile &profile,
+             const ExperimentConfig &config,
+             const MachineProfile &machine)
+{
+    BenchResult result;
+    result.name = profile.name;
+
+    // Synthesise the workload at scale.
+    const workload::Trace trace =
+        workload::synthesize(profile, synthConfigFor(profile, config));
+
+    // Build the machine and replay.
+    mem::AddressSpace space(config.globalsBytes, config.stackBytes);
+    alloc::CherivokeAllocator allocator(space,
+                                        allocConfigFor(config));
+    revoke::RevocationEngine revoker(allocator, space,
+                                     engineConfigFor(config));
     std::unique_ptr<cache::Hierarchy> hierarchy;
     if (config.modelTraffic) {
         hierarchy = std::make_unique<cache::Hierarchy>(
@@ -171,6 +196,111 @@ runBenchmark(const workload::BenchmarkProfile &profile,
     result.trafficOverheadPct =
         100.0 * sweep_dram_per_sec / (profile.appDramMiBps * MiB);
 
+    return result;
+}
+
+std::vector<workload::Trace>
+synthesizeTenantTraces(const workload::BenchmarkProfile &profile,
+                       const ExperimentConfig &config)
+{
+    workload::BenchmarkProfile tenant_profile = profile;
+    if (config.tenantHeapMiB > 0)
+        tenant_profile.liveHeapMiB = config.tenantHeapMiB;
+    std::vector<workload::Trace> traces;
+    traces.reserve(config.tenants);
+    for (unsigned i = 0; i < config.tenants; ++i) {
+        workload::SynthConfig synth_cfg =
+            synthConfigFor(tenant_profile, config);
+        synth_cfg.seed = config.seed + 0x9e3779b9ULL * i;
+        traces.push_back(
+            workload::synthesize(tenant_profile, synth_cfg));
+    }
+    return traces;
+}
+
+MultiTenantBenchResult
+runMultiTenantBenchmark(const workload::BenchmarkProfile &profile,
+                        const ExperimentConfig &config,
+                        const MachineProfile &machine,
+                        const std::vector<workload::Trace> *traces)
+{
+    CHERIVOKE_ASSERT(config.tenants >= 1);
+    if (!config.tenantWeights.empty() &&
+        config.tenantWeights.size() != config.tenants)
+        fatal("tenantWeights has %zu entries for %u tenants",
+              config.tenantWeights.size(), config.tenants);
+
+    MultiTenantBenchResult result;
+    result.name = profile.name;
+
+    std::vector<workload::Trace> synthesized;
+    if (!traces) {
+        synthesized = synthesizeTenantTraces(profile, config);
+        traces = &synthesized;
+    } else if (traces->size() != config.tenants) {
+        fatal("%zu supplied traces for %u tenants", traces->size(),
+              config.tenants);
+    }
+
+    tenant::TenantManagerConfig mgr_cfg;
+    mgr_cfg.engine = engineConfigFor(config);
+    mgr_cfg.scope = config.tenantScope;
+    tenant::TenantManager manager(mgr_cfg);
+
+    for (unsigned i = 0; i < config.tenants; ++i) {
+        tenant::TenantConfig tcfg;
+        tcfg.name = profile.name + "#" + std::to_string(i);
+        tcfg.weight = config.tenantWeights.empty()
+                          ? 1.0
+                          : config.tenantWeights[i];
+        tcfg.alloc = allocConfigFor(config);
+        tcfg.globalsBytes = config.globalsBytes;
+        tcfg.stackBytes = config.stackBytes;
+        manager.addTenant(tcfg, (*traces)[i]);
+    }
+
+    std::unique_ptr<cache::Hierarchy> hierarchy;
+    if (config.modelTraffic) {
+        hierarchy = std::make_unique<cache::Hierarchy>(
+            machine.hierarchyConfig());
+    }
+    result.run = manager.run(hierarchy.get());
+    const tenant::MultiTenantResult &run = result.run;
+    const double vt = std::max(run.virtualSeconds, 1e-9);
+
+    // Aggregate model, exactly as the single-process path: shadow
+    // paint time + sweep time over the (concurrent) virtual duration.
+    result.shadowOverhead =
+        paintSeconds(machine, run.engine.paint, config.scale) / vt;
+    const uint64_t dram_bytes =
+        hierarchy ? hierarchy->dram().totalBytes()
+                  : approxSweepDramBytes(run.engine.sweep);
+    result.sweepDramBytes = dram_bytes;
+    result.sweepOverhead =
+        sweepSeconds(machine, run.engine.sweep, dram_bytes,
+                     run.engine.epochs, config.scale) /
+        vt;
+    result.achievedScanRate = achievedSweepBandwidth(
+        machine, run.engine.sweep, run.engine.epochs, config.scale);
+
+    // Figure 10 generalised: the denominator is every tenant's
+    // baseline off-core traffic — consolidation grows both sides.
+    const double sweep_dram_per_sec =
+        static_cast<double>(approxSweepDramBytes(run.engine.sweep)) /
+        config.scale / vt;
+    result.trafficOverheadPct =
+        100.0 * sweep_dram_per_sec /
+        (config.tenants * profile.appDramMiBps * MiB);
+
+    result.tenantSweepOverhead.reserve(run.tenants.size());
+    for (const tenant::TenantResult &tr : run.tenants) {
+        const double tvt = std::max(tr.run.virtualSeconds, 1e-9);
+        result.tenantSweepOverhead.push_back(
+            sweepSeconds(machine, tr.run.revoker.sweep,
+                         approxSweepDramBytes(tr.run.revoker.sweep),
+                         tr.run.revoker.epochs, config.scale) /
+            tvt);
+    }
     return result;
 }
 

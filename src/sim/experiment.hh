@@ -28,8 +28,10 @@
 #define CHERIVOKE_SIM_EXPERIMENT_HH
 
 #include <string>
+#include <vector>
 
 #include "sim/machine.hh"
+#include "tenant/tenant_manager.hh"
 #include "workload/driver.hh"
 #include "workload/spec_profiles.hh"
 #include "workload/synth.hh"
@@ -61,6 +63,20 @@ struct ExperimentConfig
      *  image as it does at reference scale. */
     uint64_t globalsBytes = 512 * KiB;
     uint64_t stackBytes = 512 * KiB;
+
+    /** @name Multi-tenant consolidation axis
+     *  (runMultiTenantBenchmark; CHERIVOKE_TENANTS et al.) */
+    /// @{
+    /** Co-resident tenant processes sharing one memory + engine. */
+    unsigned tenants = 1;
+    /** What one tenant's quarantine-budget trigger sweeps. */
+    tenant::RevocationScope tenantScope =
+        tenant::RevocationScope::PerTenant;
+    /** Per-tenant live-heap target in MiB; 0 = the profile's own. */
+    double tenantHeapMiB = 0;
+    /** Scheduling weights, one per tenant; empty = all equal. */
+    std::vector<double> tenantWeights;
+    /// @}
 };
 
 /** Everything one benchmark run produces. */
@@ -97,6 +113,53 @@ BenchResult runBenchmark(const workload::BenchmarkProfile &profile,
                          const ExperimentConfig &config,
                          const MachineProfile &machine =
                              MachineProfile::x86());
+
+/** Everything one multi-tenant consolidation run produces. */
+struct MultiTenantBenchResult
+{
+    std::string name;
+    tenant::MultiTenantResult run;
+
+    /** @name Aggregate modelled overheads (over max virtual time) */
+    /// @{
+    double shadowOverhead = 0;
+    double sweepOverhead = 0;
+    double achievedScanRate = 0;      //!< bytes/s, real scale
+    double trafficOverheadPct = 0;    //!< vs all tenants' app traffic
+    uint64_t sweepDramBytes = 0;
+    /// @}
+
+    /** Per-tenant sweep overhead (same model on domain totals). */
+    std::vector<double> tenantSweepOverhead;
+};
+
+/**
+ * The per-tenant op streams a multi-tenant run replays: one trace
+ * per tenant, each synthesised with a distinct seed so tenants are
+ * independent processes with the same statistical shape. Tenant 0
+ * keeps the experiment seed, so a 1-tenant run replays runBenchmark's
+ * exact trace. Exposed so benches can record traces once (through
+ * tenant/trace_codec) and replay them deterministically.
+ */
+std::vector<workload::Trace>
+synthesizeTenantTraces(const workload::BenchmarkProfile &profile,
+                       const ExperimentConfig &config);
+
+/**
+ * Host config.tenants copies of @p profile on one shared
+ * TaggedMemory/RevocationEngine and model the aggregate revocation
+ * cost. config.tenants == 1 reproduces runBenchmark's measured
+ * statistics exactly.
+ * @param traces replay these per-tenant op streams (count must match
+ *        config.tenants) instead of synthesising fresh ones
+ */
+MultiTenantBenchResult
+runMultiTenantBenchmark(const workload::BenchmarkProfile &profile,
+                        const ExperimentConfig &config,
+                        const MachineProfile &machine =
+                            MachineProfile::x86(),
+                        const std::vector<workload::Trace> *traces =
+                            nullptr);
 
 /** DRAM bytes a sweep moves (shared approximation). */
 uint64_t approxSweepDramBytes(const revoke::SweepStats &stats);

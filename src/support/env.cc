@@ -1,0 +1,92 @@
+#include "support/env.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+
+bool
+parseI64(const std::string &text, int64_t &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return false;
+    out = static_cast<int64_t>(v);
+    return true;
+}
+
+bool
+parseF64(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+int64_t
+envI64(const char *name, int64_t fallback, int64_t min)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return fallback;
+    int64_t value = 0;
+    if (!parseI64(text, value))
+        fatal("%s: expected an integer, got '%s'", name, text);
+    if (value < min)
+        fatal("%s: %lld is below the minimum %lld", name,
+              static_cast<long long>(value),
+              static_cast<long long>(min));
+    return value;
+}
+
+double
+envF64(const char *name, double fallback, double min)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return fallback;
+    double value = 0;
+    if (!parseF64(text, value))
+        fatal("%s: expected a number, got '%s'", name, text);
+    if (value < min || (min == 0 && value <= 0))
+        fatal("%s: %g is out of range (must be %s %g)", name, value,
+              min == 0 ? ">" : ">=", min);
+    return value;
+}
+
+std::vector<double>
+envF64List(const char *name)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return {};
+    std::vector<double> values;
+    const std::string all(text);
+    size_t pos = 0;
+    while (pos <= all.size()) {
+        const size_t comma = std::min(all.find(',', pos), all.size());
+        const std::string item = all.substr(pos, comma - pos);
+        double value = 0;
+        if (!parseF64(item, value) || value <= 0)
+            fatal("%s: expected a comma-separated list of positive "
+                  "numbers, got '%s'",
+                  name, text);
+        values.push_back(value);
+        pos = comma + 1;
+    }
+    return values;
+}
+
+} // namespace cherivoke

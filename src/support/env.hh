@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Strict environment-variable parsing for the bench/experiment
+ * harness. An *unset* variable yields the caller's fallback, but a
+ * set-and-malformed value (`CHERIVOKE_THREADS=abc`, `=3x`, `=`, out
+ * of range…) throws FatalError with the offending text rather than
+ * silently falling back — a mistyped sweep configuration must never
+ * masquerade as a default run.
+ */
+
+#ifndef CHERIVOKE_SUPPORT_ENV_HH
+#define CHERIVOKE_SUPPORT_ENV_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cherivoke {
+
+/** Strictly parse all of @p text as a decimal integer.
+ *  @return false on empty input, trailing garbage, or overflow */
+bool parseI64(const std::string &text, int64_t &out);
+
+/** Strictly parse all of @p text as a floating-point number. */
+bool parseF64(const std::string &text, double &out);
+
+/**
+ * Integer environment knob: @p fallback when unset; fatal() when set
+ * but malformed or below @p min.
+ */
+int64_t envI64(const char *name, int64_t fallback, int64_t min = 1);
+
+/** Floating-point environment knob; fatal() unless value >= @p min
+ *  (strictly > when @p min is an exclusive bound of 0). */
+double envF64(const char *name, double fallback, double min = 0);
+
+/**
+ * Comma-separated list of positive doubles (e.g. tenant scheduling
+ * weights, `CHERIVOKE_TENANT_WEIGHTS=2,1,1`). Unset → empty vector;
+ * malformed or non-positive entries → fatal().
+ */
+std::vector<double> envF64List(const char *name);
+
+} // namespace cherivoke
+
+#endif // CHERIVOKE_SUPPORT_ENV_HH

@@ -1,0 +1,53 @@
+#include "tenant/scheduler.hh"
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace tenant {
+
+TenantScheduler::TenantScheduler(std::vector<double> weights)
+{
+    CHERIVOKE_ASSERT(!weights.empty());
+    entries_.reserve(weights.size());
+    for (double w : weights) {
+        if (w <= 0)
+            fatal("tenant weight must be positive (got %g)", w);
+        entries_.push_back(Entry{w, 0.0, false});
+        total_weight_ += w;
+    }
+    active_ = entries_.size();
+}
+
+void
+TenantScheduler::markDone(size_t index)
+{
+    CHERIVOKE_ASSERT(index < entries_.size());
+    Entry &e = entries_[index];
+    if (e.done)
+        return;
+    e.done = true;
+    e.credit = 0;
+    total_weight_ -= e.weight;
+    --active_;
+}
+
+size_t
+TenantScheduler::next()
+{
+    CHERIVOKE_ASSERT(!allDone(), "(next() with no runnable tenants)");
+    size_t winner = entries_.size();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
+        if (e.done)
+            continue;
+        e.credit += e.weight;
+        if (winner == entries_.size() ||
+            e.credit > entries_[winner].credit)
+            winner = i;
+    }
+    entries_[winner].credit -= total_weight_;
+    return winner;
+}
+
+} // namespace tenant
+} // namespace cherivoke

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic tenant interleaving: smooth weighted round-robin
+ * (the nginx algorithm). Every pick adds each runnable tenant's
+ * weight to its credit, selects the highest credit (lowest index on
+ * ties), and charges the winner the total runnable weight. The
+ * resulting sequence is perfectly smooth — a 2:1:1 weighting yields
+ * A B A C A B A C … rather than A A B C — and is a pure function of
+ * the weights and completion order, which is what makes multi-tenant
+ * replay bit-reproducible.
+ */
+
+#ifndef CHERIVOKE_TENANT_SCHEDULER_HH
+#define CHERIVOKE_TENANT_SCHEDULER_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cherivoke {
+namespace tenant {
+
+/** Picks which tenant's trace advances next. */
+class TenantScheduler
+{
+  public:
+    /** @param weights one positive share per tenant */
+    explicit TenantScheduler(std::vector<double> weights);
+
+    /** Tenants still runnable. */
+    size_t activeCount() const { return active_; }
+    bool allDone() const { return active_ == 0; }
+
+    /** Remove a finished tenant from the rotation. */
+    void markDone(size_t index);
+
+    /** The next tenant to run one operation; requires !allDone(). */
+    size_t next();
+
+  private:
+    struct Entry
+    {
+        double weight = 1.0;
+        double credit = 0.0;
+        bool done = false;
+    };
+
+    std::vector<Entry> entries_;
+    double total_weight_ = 0; //!< over runnable tenants
+    size_t active_ = 0;
+};
+
+} // namespace tenant
+} // namespace cherivoke
+
+#endif // CHERIVOKE_TENANT_SCHEDULER_HH

@@ -1,0 +1,212 @@
+#include "tenant/tenant_manager.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace tenant {
+
+const char *
+scopeName(RevocationScope scope)
+{
+    switch (scope) {
+      case RevocationScope::PerTenant: return "per-tenant";
+      case RevocationScope::Global: return "global";
+    }
+    return "unknown";
+}
+
+bool
+parseScope(const std::string &name, RevocationScope &out)
+{
+    if (name == "per-tenant" || name == "tenant") {
+        out = RevocationScope::PerTenant;
+        return true;
+    }
+    if (name == "global") {
+        out = RevocationScope::Global;
+        return true;
+    }
+    return false;
+}
+
+mem::AddressSpace::Layout
+layoutForTenant(size_t index)
+{
+    if (index >= kMaxTenants)
+        fatal("tenant %zu out of range: at a %llu-byte stride only "
+              "%zu tenants fit below the shadow region",
+              index, static_cast<unsigned long long>(kTenantStride),
+              kMaxTenants);
+    return mem::AddressSpace::Layout{}.shifted(index * kTenantStride);
+}
+
+Tenant::Tenant(size_t index, const TenantConfig &config,
+               mem::TaggedMemory &shared, workload::Trace trace)
+    : index_(index), config_(config), trace_(std::move(trace)),
+      space_(shared, layoutForTenant(index), config.globalsBytes,
+             config.stackBytes),
+      allocator_(space_, config.alloc)
+{
+    // The whole image — stack end included — must stay inside this
+    // tenant's stride, or it would silently alias the next tenant.
+    const uint64_t region_end = (index + 1) * kTenantStride;
+    if (space_.stack().end() > region_end)
+        fatal("tenant %zu: stack segment ends at 0x%llx, past the "
+              "tenant's 0x%llx region boundary",
+              index,
+              static_cast<unsigned long long>(space_.stack().end()),
+              static_cast<unsigned long long>(region_end));
+}
+
+TenantManager::TenantManager(TenantManagerConfig config)
+    : config_(config)
+{}
+
+size_t
+TenantManager::addTenant(const TenantConfig &config,
+                         workload::Trace trace)
+{
+    CHERIVOKE_ASSERT(!ran_, "(addTenant after run())");
+    const size_t index = tenants_.size();
+    auto t = std::make_unique<Tenant>(index, config, memory_,
+                                      std::move(trace));
+    if (!engine_) {
+        engine_ = std::make_unique<revoke::RevocationEngine>(
+            t->allocator(), t->space(), config_.engine);
+    } else {
+        const size_t domain =
+            engine_->addDomain(t->allocator(), t->space());
+        CHERIVOKE_ASSERT(domain == index);
+    }
+    tenants_.push_back(std::move(t));
+    return index;
+}
+
+// Engine pump for tenant `index`: bind the engine to the tenant's
+// domain, then let the configured scope decide what a budget trigger
+// sweeps. An epoch already in flight always just advances (under the
+// concurrent policy every tenant's allocator ops push it along —
+// cross-tenant mutator assist).
+void
+TenantManager::pumpFor(size_t index, cache::Hierarchy *hierarchy)
+{
+    engine_->selectDomain(index);
+    if (config_.scope == RevocationScope::PerTenant ||
+        engine_->epochOpen()) {
+        engine_->maybeRevoke(hierarchy);
+        return;
+    }
+    // Global scope: one tenant's pressure stops the world for every
+    // tenant that has anything quarantined.
+    if (!engine_->quarantinePressure())
+        return;
+    for (size_t j = 0; j < tenants_.size(); ++j) {
+        if (tenants_[j]->allocator().quarantinedBytes() == 0)
+            continue;
+        engine_->selectDomain(j);
+        engine_->revokeNow(hierarchy);
+    }
+    engine_->selectDomain(index);
+}
+
+MultiTenantResult
+TenantManager::run(cache::Hierarchy *hierarchy)
+{
+    CHERIVOKE_ASSERT(!ran_, "(run() is callable once)");
+    CHERIVOKE_ASSERT(!tenants_.empty(), "(run() with no tenants)");
+    ran_ = true;
+
+    MultiTenantResult result;
+
+    // Build one replayer per tenant, each pumping through the
+    // manager so domain selection and scope apply.
+    std::vector<std::unique_ptr<workload::TraceReplayer>> replayers;
+    std::vector<double> weights;
+    replayers.reserve(tenants_.size());
+    for (auto &t : tenants_) {
+        auto r = std::make_unique<workload::TraceReplayer>(
+            t->space(), t->allocator(), engine_.get(), t->trace());
+        r->setPump([this, index = t->index()](cache::Hierarchy *h) {
+            pumpFor(index, h);
+        });
+        replayers.push_back(std::move(r));
+        weights.push_back(t->config().weight);
+    }
+
+    TenantScheduler scheduler(weights);
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+        if (replayers[i]->done())
+            scheduler.markDone(i);
+    }
+
+    uint64_t live_allocs = 0; //!< exact aggregate, updated per step
+    uint64_t steps = 0;
+    auto sample_byte_peaks = [&]() {
+        uint64_t live = 0, quarantined = 0, footprint = 0;
+        for (auto &t : tenants_) {
+            live += t->allocator().liveBytes();
+            quarantined += t->allocator().quarantinedBytes();
+            footprint += t->allocator().footprintBytes();
+        }
+        result.peakAggLiveBytes =
+            std::max(result.peakAggLiveBytes, live);
+        result.peakAggQuarantineBytes =
+            std::max(result.peakAggQuarantineBytes, quarantined);
+        result.peakAggFootprintBytes =
+            std::max(result.peakAggFootprintBytes, footprint);
+    };
+
+    while (!scheduler.allDone()) {
+        const size_t i = scheduler.next();
+        workload::TraceReplayer &r = *replayers[i];
+        const uint64_t live_before = r.liveObjects();
+        r.step(hierarchy);
+        live_allocs += r.liveObjects() - live_before; // may wrap; sums exactly
+        result.peakAggLiveAllocs =
+            std::max(result.peakAggLiveAllocs, live_allocs);
+        if (++steps % kAggregateSampleOps == 0)
+            sample_byte_peaks();
+        if (r.done())
+            scheduler.markDone(i);
+    }
+    sample_byte_peaks();
+
+    // Finish every tenant (drains any epoch still open) and patch
+    // each result's revocation view down to its own domain.
+    result.tenants.reserve(tenants_.size());
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+        engine_->selectDomain(i);
+        TenantResult tr;
+        tr.name = tenants_[i]->name();
+        tr.index = i;
+        tr.weight = tenants_[i]->config().weight;
+        tr.run = replayers[i]->finish(hierarchy);
+        tr.run.revoker = engine_->domainTotals(i);
+        result.tenants.push_back(std::move(tr));
+    }
+
+    result.engine = engine_->totals();
+    for (const TenantResult &tr : result.tenants) {
+        result.allocCalls += tr.run.allocCalls;
+        result.freeCalls += tr.run.freeCalls;
+        result.freedBytes += tr.run.freedBytes;
+        result.ptrStores += tr.run.ptrStores;
+        result.virtualSeconds =
+            std::max(result.virtualSeconds, tr.run.virtualSeconds);
+        result.tenantEpochs.add(
+            static_cast<double>(tr.run.revoker.epochs));
+        result.tenantCapsRevoked.add(
+            static_cast<double>(tr.run.revoker.sweep.capsRevoked));
+        result.tenantPagesSwept.add(
+            static_cast<double>(tr.run.revoker.sweep.pagesSwept));
+        result.tenantPeakLiveAllocs.add(
+            static_cast<double>(tr.run.peakLiveAllocs));
+    }
+    result.totalOps = steps;
+    return result;
+}
+
+} // namespace tenant
+} // namespace cherivoke

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The multi-tenant workload host: N isolated CheriABI process images
+ * — each with its own address-space region, CHERIvoke allocator, and
+ * quarantine — consolidated onto ONE shared mem::TaggedMemory, one
+ * optional cache hierarchy, and one shared revoke::RevocationEngine,
+ * so revocation work done for one tenant genuinely contends with the
+ * others (the consolidation regime CHERIvoke's §6 sweep-cost model
+ * says hits first as heap size and free rate aggregate).
+ *
+ * Ownership:
+ *
+ *     TenantManager
+ *       ├── mem::TaggedMemory            (shared physical image)
+ *       ├── revoke::RevocationEngine     (one engine, one domain per
+ *       │                                 tenant)
+ *       └── Tenant[i]
+ *             ├── mem::AddressSpace      (layout shifted by
+ *             │                           i * kTenantStride, bound to
+ *             │                           the shared memory)
+ *             ├── alloc::CherivokeAllocator (+ its quarantine and
+ *             │                           shadow map over the shared
+ *             │                           shadow region)
+ *             └── workload::Trace        (the tenant's op stream)
+ *
+ * run() interleaves the tenants' traces op-by-op under a smooth
+ * weighted round-robin TenantScheduler and pumps the shared engine
+ * after every allocator operation. Revocation triggers under two
+ * scopes: PerTenant (only the pressured tenant's region is swept —
+ * sound because tenants are isolated, and exactly the per-region
+ * sweep scoping PoisonCap-style hierarchical schedules assume) or
+ * Global (any tenant hitting its budget drains every tenant's
+ * quarantine in one pause, the worst-case consolidation stall).
+ *
+ * Everything is deterministic: same tenant configs + same traces →
+ * bit-identical per-tenant and aggregate statistics. A 1-tenant
+ * manager is op-for-op identical to the classic single-process
+ * workload::TraceDriver pipeline (tenant 0's layout shift is zero).
+ */
+
+#ifndef CHERIVOKE_TENANT_TENANT_MANAGER_HH
+#define CHERIVOKE_TENANT_TENANT_MANAGER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/addr_space.hh"
+#include "revoke/revocation_engine.hh"
+#include "stats/summary.hh"
+#include "tenant/scheduler.hh"
+#include "workload/driver.hh"
+
+namespace cherivoke {
+namespace tenant {
+
+/** What a quarantine-budget trigger sweeps. */
+enum class RevocationScope
+{
+    PerTenant, //!< only the pressured tenant's region
+    Global,    //!< every tenant's quarantine, one pause
+};
+
+const char *scopeName(RevocationScope scope);
+bool parseScope(const std::string &name, RevocationScope &out);
+
+/**
+ * Address-space stride between tenants: each tenant's segment bases
+ * are the single-process bases shifted up by index * kTenantStride,
+ * so tenant 0 occupies exactly the classic layout. 2 GiB covers the
+ * full classic image (globals + heap + stack end below 0x8000'0000)
+ * and keeps 512 tenants under the shadow region base.
+ */
+constexpr uint64_t kTenantStride = 0x8000'0000ULL;
+constexpr size_t kMaxTenants = mem::kShadowBase / kTenantStride;
+
+/** Segment layout of tenant @p index (fatal when index too large). */
+mem::AddressSpace::Layout layoutForTenant(size_t index);
+
+/** Per-tenant knobs. */
+struct TenantConfig
+{
+    std::string name;
+    /** Scheduler share: ops per rotation relative to other tenants. */
+    double weight = 1.0;
+    alloc::CherivokeConfig alloc{};
+    uint64_t globalsBytes = 512 * KiB;
+    uint64_t stackBytes = 512 * KiB;
+};
+
+/** One hosted tenant: its region, allocator, and trace. */
+class Tenant
+{
+  public:
+    Tenant(size_t index, const TenantConfig &config,
+           mem::TaggedMemory &shared, workload::Trace trace);
+
+    size_t index() const { return index_; }
+    const std::string &name() const { return config_.name; }
+    const TenantConfig &config() const { return config_; }
+    mem::AddressSpace &space() { return space_; }
+    alloc::CherivokeAllocator &allocator() { return allocator_; }
+    const workload::Trace &trace() const { return trace_; }
+
+  private:
+    size_t index_;
+    TenantConfig config_;
+    workload::Trace trace_;
+    mem::AddressSpace space_;
+    alloc::CherivokeAllocator allocator_;
+};
+
+/** One tenant's replay outcome. */
+struct TenantResult
+{
+    std::string name;
+    size_t index = 0;
+    double weight = 1.0;
+    /** Per-tenant driver statistics; .revoker holds this tenant's
+     *  domain totals, not the engine-wide aggregate. */
+    workload::DriverResult run;
+};
+
+/** Everything one multi-tenant replay produces. */
+struct MultiTenantResult
+{
+    std::vector<TenantResult> tenants;
+
+    /** Engine-wide revocation totals (sum over all tenants). */
+    revoke::EngineTotals engine;
+
+    /** @name Aggregate mutator counters */
+    /// @{
+    uint64_t totalOps = 0;
+    uint64_t allocCalls = 0;
+    uint64_t freeCalls = 0;
+    uint64_t freedBytes = 0;
+    uint64_t ptrStores = 0;
+    /// @}
+
+    /** @name Aggregate peaks across the consolidated image.
+     *  Live-allocation count is tracked exactly (updated every op);
+     *  byte aggregates are sampled every kAggregateSampleOps ops,
+     *  which is deterministic and tight at these op rates. */
+    /// @{
+    uint64_t peakAggLiveAllocs = 0;
+    uint64_t peakAggLiveBytes = 0;
+    uint64_t peakAggQuarantineBytes = 0;
+    uint64_t peakAggFootprintBytes = 0;
+    /// @}
+
+    /** Longest per-tenant virtual duration (tenants run
+     *  concurrently, so wall-clock-like time is the max). */
+    double virtualSeconds = 0;
+
+    /** @name Per-tenant distributions (one sample per tenant) */
+    /// @{
+    stats::Summary tenantEpochs;
+    stats::Summary tenantCapsRevoked;
+    stats::Summary tenantPagesSwept;
+    stats::Summary tenantPeakLiveAllocs;
+    /// @}
+};
+
+/** Manager-wide knobs. */
+struct TenantManagerConfig
+{
+    revoke::EngineConfig engine{};
+    RevocationScope scope = RevocationScope::PerTenant;
+};
+
+/** Aggregate-byte-peak sampling period, in scheduler steps. */
+constexpr uint64_t kAggregateSampleOps = 32;
+
+/** Hosts tenants and replays their traces against shared state. */
+class TenantManager
+{
+  public:
+    explicit TenantManager(
+        TenantManagerConfig config = TenantManagerConfig{});
+
+    /**
+     * Add a tenant and register it as a domain of the shared engine
+     * (created on first add). Tenants must all be added before run().
+     * @return the tenant's index
+     */
+    size_t addTenant(const TenantConfig &config,
+                     workload::Trace trace);
+
+    size_t tenantCount() const { return tenants_.size(); }
+    Tenant &tenant(size_t index) { return *tenants_.at(index); }
+    mem::TaggedMemory &memory() { return memory_; }
+    const TenantManagerConfig &config() const { return config_; }
+
+    /** The shared engine; valid once a tenant has been added. */
+    revoke::RevocationEngine &engine() { return *engine_; }
+
+    /**
+     * Interleave every tenant's trace to completion under the
+     * weighted scheduler, pumping the shared engine per operation.
+     * Callable once. @param hierarchy optional shared cache model
+     */
+    MultiTenantResult run(cache::Hierarchy *hierarchy = nullptr);
+
+  private:
+    void pumpFor(size_t index, cache::Hierarchy *hierarchy);
+
+    TenantManagerConfig config_;
+    mem::TaggedMemory memory_;
+    std::vector<std::unique_ptr<Tenant>> tenants_;
+    std::unique_ptr<revoke::RevocationEngine> engine_;
+    bool ran_ = false;
+};
+
+} // namespace tenant
+} // namespace cherivoke
+
+#endif // CHERIVOKE_TENANT_TENANT_MANAGER_HH

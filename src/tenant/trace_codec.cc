@@ -1,0 +1,224 @@
+#include "tenant/trace_codec.hh"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace tenant {
+
+namespace {
+
+void
+putU32(uint8_t *dst, uint32_t v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+void
+putU64(uint8_t *dst, uint64_t v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+void
+putF64(uint8_t *dst, double v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+uint32_t
+getU32(const uint8_t *src)
+{
+    uint32_t v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+uint64_t
+getU64(const uint8_t *src)
+{
+    uint64_t v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+double
+getF64(const uint8_t *src)
+{
+    double v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+uint32_t
+auxOrDie(uint64_t offset, size_t index)
+{
+    if (offset > std::numeric_limits<uint32_t>::max())
+        fatal("trace op %zu: offset %llu overflows the binary "
+              "format's 32-bit aux field",
+              index, static_cast<unsigned long long>(offset));
+    return static_cast<uint32_t>(offset);
+}
+
+} // namespace
+
+size_t
+encodedTraceBytes(const workload::Trace &trace)
+{
+    return kTraceHeaderBytes + trace.ops.size() * kTraceRecordBytes;
+}
+
+std::vector<uint8_t>
+encodeTrace(const workload::Trace &trace)
+{
+    using workload::OpKind;
+    std::vector<uint8_t> out(encodedTraceBytes(trace), 0);
+    putU64(&out[0], kTraceMagic);
+    putU32(&out[8], kTraceVersion);
+    putU32(&out[12], static_cast<uint32_t>(kTraceRecordBytes));
+    putU64(&out[16], trace.ops.size());
+
+    uint8_t *rec = out.data() + kTraceHeaderBytes;
+    for (size_t i = 0; i < trace.ops.size(); ++i,
+                rec += kTraceRecordBytes) {
+        const workload::TraceOp &op = trace.ops[i];
+        rec[0] = static_cast<uint8_t>(op.kind);
+        switch (op.kind) {
+          case OpKind::Malloc:
+            putU64(&rec[8], op.id);
+            putU64(&rec[16], op.size);
+            break;
+          case OpKind::Free:
+            putU64(&rec[8], op.id);
+            break;
+          case OpKind::StorePtr:
+            putU32(&rec[4], auxOrDie(op.offset, i));
+            putU64(&rec[8], op.src);
+            putU64(&rec[16], op.dst);
+            break;
+          case OpKind::StoreData:
+            putU32(&rec[4], auxOrDie(op.offset, i));
+            putU64(&rec[8], op.dst);
+            break;
+          case OpKind::RootPtr:
+            putU32(&rec[4], auxOrDie(op.offset, i));
+            putU64(&rec[8], op.src);
+            break;
+        }
+        putF64(&rec[24], op.dt);
+    }
+    return out;
+}
+
+workload::Trace
+decodeTrace(const uint8_t *data, size_t size)
+{
+    using workload::OpKind;
+    if (size < kTraceHeaderBytes)
+        fatal("binary trace truncated: %zu bytes, need a %zu-byte "
+              "header",
+              size, kTraceHeaderBytes);
+    if (getU64(&data[0]) != kTraceMagic)
+        fatal("not a binary cherivoke trace (bad magic)");
+    const uint32_t version = getU32(&data[8]);
+    if (version != kTraceVersion)
+        fatal("binary trace version %u unsupported (expected %u)",
+              version, kTraceVersion);
+    const uint32_t stride = getU32(&data[12]);
+    if (stride != kTraceRecordBytes)
+        fatal("binary trace record stride %u unsupported "
+              "(expected %zu)",
+              stride, kTraceRecordBytes);
+    const uint64_t count = getU64(&data[16]);
+    // Division form: the multiplied bound could overflow uint64 for
+    // a corrupt header and bypass the check.
+    if (count > (size - kTraceHeaderBytes) / kTraceRecordBytes)
+        fatal("binary trace truncated: header promises %llu records "
+              "but only %zu bytes follow",
+              static_cast<unsigned long long>(count),
+              size - kTraceHeaderBytes);
+
+    workload::Trace trace;
+    trace.ops.resize(count);
+    const uint8_t *rec = data + kTraceHeaderBytes;
+    for (uint64_t i = 0; i < count; ++i, rec += kTraceRecordBytes) {
+        workload::TraceOp &op = trace.ops[i];
+        const uint8_t kind = rec[0];
+        if (kind > static_cast<uint8_t>(OpKind::RootPtr))
+            fatal("binary trace record %llu: unknown op kind %u",
+                  static_cast<unsigned long long>(i), kind);
+        op.kind = static_cast<OpKind>(kind);
+        switch (op.kind) {
+          case OpKind::Malloc:
+            op.id = getU64(&rec[8]);
+            op.size = getU64(&rec[16]);
+            break;
+          case OpKind::Free:
+            op.id = getU64(&rec[8]);
+            break;
+          case OpKind::StorePtr:
+            op.offset = getU32(&rec[4]);
+            op.src = getU64(&rec[8]);
+            op.dst = getU64(&rec[16]);
+            break;
+          case OpKind::StoreData:
+            op.offset = getU32(&rec[4]);
+            op.dst = getU64(&rec[8]);
+            break;
+          case OpKind::RootPtr:
+            op.offset = getU32(&rec[4]);
+            op.src = getU64(&rec[8]);
+            break;
+        }
+        op.dt = getF64(&rec[24]);
+    }
+    return trace;
+}
+
+workload::Trace
+decodeTrace(const std::vector<uint8_t> &bytes)
+{
+    return decodeTrace(bytes.data(), bytes.size());
+}
+
+bool
+isBinaryTrace(const uint8_t *data, size_t size)
+{
+    return size >= sizeof(uint64_t) && getU64(data) == kTraceMagic;
+}
+
+void
+saveTraceFile(const std::string &path, const workload::Trace &trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    const std::vector<uint8_t> bytes = encodeTrace(trace);
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os)
+        fatal("short write to '%s'", path.c_str());
+}
+
+workload::Trace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open '%s'", path.c_str());
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+    if (isBinaryTrace(bytes.data(), bytes.size()))
+        return decodeTrace(bytes);
+    std::istringstream text(
+        std::string(bytes.begin(), bytes.end()));
+    return workload::Trace::load(text);
+}
+
+} // namespace tenant
+} // namespace cherivoke

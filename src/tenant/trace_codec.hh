@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Compact binary trace format for multi-million-operation workloads.
+ *
+ * The text format (workload::Trace::save/load) parses at a few MiB/s,
+ * which dominates wall-clock once traces reach PICASSO-scale millions
+ * of live allocations. This codec stores a trace as a 32-byte header
+ * followed by fixed-stride 32-byte little-endian records, so a trace
+ * file can be mmap'ed (or read whole) and decoded with one bounds
+ * check per record — no tokenising, no allocation per op.
+ *
+ * Layout (all little-endian):
+ *
+ *     header   byte 0   u64  magic   "CHERIVTB"
+ *              byte 8   u32  version (currently 1)
+ *              byte 12  u32  record stride in bytes (32)
+ *              byte 16  u64  op count
+ *              byte 24  u64  reserved (0)
+ *     record   byte 0   u8   op kind (workload::OpKind)
+ *              byte 1   u8[3] zero padding
+ *              byte 4   u32  aux: byte offset / root slot
+ *              byte 8   u64  a:  Malloc/Free id; StorePtr/RootPtr src;
+ *                                StoreData dst
+ *              byte 16  u64  b:  Malloc size; StorePtr dst
+ *              byte 24  f64  dt (virtual seconds since previous op)
+ *
+ * Encoding is canonical: only the fields the op kind defines are
+ * stored, and decode leaves the rest zero. Round-tripping a canonical
+ * trace (everything workload::synthesize emits) reproduces the op
+ * stream byte for byte, which is what makes binary traces a
+ * deterministic-replay interchange format: record once, replay
+ * anywhere, bit-identical statistics.
+ */
+
+#ifndef CHERIVOKE_TENANT_TRACE_CODEC_HH
+#define CHERIVOKE_TENANT_TRACE_CODEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hh"
+
+namespace cherivoke {
+namespace tenant {
+
+/** "CHERIVTB" read as a little-endian u64. */
+constexpr uint64_t kTraceMagic = 0x4254564952454843ULL;
+constexpr uint32_t kTraceVersion = 1;
+constexpr size_t kTraceHeaderBytes = 32;
+constexpr size_t kTraceRecordBytes = 32;
+
+/** Exact encoded size of @p trace in bytes. */
+size_t encodedTraceBytes(const workload::Trace &trace);
+
+/** Serialise @p trace to the binary format. Throws FatalError when a
+ *  field overflows its encoding (offset or root slot >= 2^32). */
+std::vector<uint8_t> encodeTrace(const workload::Trace &trace);
+
+/** Decode a binary trace from an in-memory image (for example an
+ *  mmap'ed file). Throws FatalError on bad magic, version, stride,
+ *  truncation, or an unknown op kind. */
+workload::Trace decodeTrace(const uint8_t *data, size_t size);
+workload::Trace decodeTrace(const std::vector<uint8_t> &bytes);
+
+/** True when @p data begins with the binary trace magic. */
+bool isBinaryTrace(const uint8_t *data, size_t size);
+
+/** Write @p trace to @p path in the binary format. */
+void saveTraceFile(const std::string &path,
+                   const workload::Trace &trace);
+
+/** Load a trace file: binary when the magic matches, otherwise the
+ *  text format (so existing .trace files keep working). */
+workload::Trace loadTraceFile(const std::string &path);
+
+} // namespace tenant
+} // namespace cherivoke
+
+#endif // CHERIVOKE_TENANT_TRACE_CODEC_HH

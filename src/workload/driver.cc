@@ -45,140 +45,167 @@ measureDensities(const mem::AddressSpace &space)
     return sample;
 }
 
-DriverResult
-TraceDriver::run(const Trace &trace, cache::Hierarchy *hierarchy)
+TraceReplayer::TraceReplayer(mem::AddressSpace &space,
+                             alloc::CherivokeAllocator &allocator,
+                             revoke::RevocationEngine *engine,
+                             const Trace &trace)
+    : space_(&space), alloc_(&allocator), engine_(engine),
+      trace_(&trace)
 {
-    DriverResult result;
-    auto &memory = space_->memory();
-    std::map<uint64_t, cap::Capability> objects; // trace id -> cap
-    double page_density_acc = 0, line_density_acc = 0;
-
-    auto track_peaks = [&]() {
-        result.peakLiveBytes =
-            std::max(result.peakLiveBytes, alloc_->liveBytes());
-        result.peakQuarantineBytes = std::max(
-            result.peakQuarantineBytes, alloc_->quarantinedBytes());
-        result.peakFootprintBytes = std::max(
-            result.peakFootprintBytes, alloc_->footprintBytes());
-    };
-
-    // Pump the engine after an allocator operation: stop-the-world
-    // and incremental policies run a whole epoch when the quarantine
-    // budget fills; the concurrent policy advances its open epoch by
-    // one slice. Densities are sampled whenever an epoch is about to
-    // open, as the paper samples its core dumps (§5.3).
-    auto pump_engine = [&]() {
-        if (!engine_)
-            return;
-        if (!engine_->epochOpen() && alloc_->needsSweep()) {
-            const DensitySample d = measureDensities(*space_);
-            page_density_acc += d.pageDensity;
-            line_density_acc += d.lineDensity;
-            ++result.densitySamples;
-        }
+    pump_ = [this](cache::Hierarchy *hierarchy) {
         engine_->maybeRevoke(hierarchy);
     };
+}
 
-    for (const TraceOp &op : trace.ops) {
-        result.virtualSeconds += op.dt;
-        switch (op.kind) {
-          case OpKind::Malloc: {
-            const cap::Capability c = alloc_->malloc(op.size);
-            // Programs initialise allocations before use; the data
-            // writes clear any stale tags left by a previous
-            // occupant of recycled memory.
-            memory.fill(c.base(), 0, alloc_->usableSize(c.base()));
-            objects.emplace(op.id, c);
-            ++result.allocCalls;
-            pump_engine();
-            break;
-          }
-          case OpKind::Free: {
-            auto it = objects.find(op.id);
-            if (it == objects.end())
-                break;
-            result.freedBytes +=
-                alloc_->usableSize(it->second.base());
-            alloc_->free(it->second);
-            objects.erase(it);
-            ++result.freeCalls;
-            pump_engine();
-            break;
-          }
-          case OpKind::StorePtr: {
-            auto dst = objects.find(op.dst);
-            auto src = objects.find(op.src);
-            if (dst == objects.end() || src == objects.end())
-                break;
-            const uint64_t usable =
-                alloc_->usableSize(dst->second.base());
-            if (usable < kCapBytes)
-                break;
-            const uint64_t offset =
-                std::min<uint64_t>(op.offset, usable - kCapBytes) &
-                ~(kCapBytes - 1);
-            memory.writeCap(dst->second.base() + offset,
-                            src->second);
-            ++result.ptrStores;
-            break;
-          }
-          case OpKind::StoreData: {
-            auto dst = objects.find(op.dst);
-            if (dst == objects.end())
-                break;
-            const uint64_t usable =
-                alloc_->usableSize(dst->second.base());
-            if (usable < 8)
-                break;
-            const uint64_t offset =
-                std::min<uint64_t>(op.offset, usable - 8) & ~7ULL;
-            memory.storeU64(dst->second, dst->second.base() + offset,
-                            0x5a5a5a5a5a5a5a5aULL);
-            break;
-          }
-          case OpKind::RootPtr: {
-            auto src = objects.find(op.src);
-            if (src == objects.end())
-                break;
-            const uint64_t slots =
-                space_->globals().size / kCapBytes;
-            const uint64_t slot = op.offset % slots;
-            memory.writeCap(space_->globals().base + slot * kCapBytes,
-                            src->second);
-            break;
-          }
-        }
-        track_peaks();
+void
+TraceReplayer::trackPeaks()
+{
+    result_.peakLiveBytes =
+        std::max(result_.peakLiveBytes, alloc_->liveBytes());
+    result_.peakQuarantineBytes = std::max(
+        result_.peakQuarantineBytes, alloc_->quarantinedBytes());
+    result_.peakFootprintBytes = std::max(
+        result_.peakFootprintBytes, alloc_->footprintBytes());
+    result_.peakLiveAllocs =
+        std::max<uint64_t>(result_.peakLiveAllocs, objects_.size());
+}
+
+// Pump the engine after an allocator operation: stop-the-world
+// and incremental policies run a whole epoch when the quarantine
+// budget fills; the concurrent policy advances its open epoch by
+// one slice. Densities are sampled whenever an epoch is about to
+// open, as the paper samples its core dumps (§5.3).
+void
+TraceReplayer::pumpEngine(cache::Hierarchy *hierarchy)
+{
+    if (!engine_)
+        return;
+    if (!engine_->epochOpen() && alloc_->needsSweep()) {
+        const DensitySample d = measureDensities(*space_);
+        page_density_acc_ += d.pageDensity;
+        line_density_acc_ += d.lineDensity;
+        ++result_.densitySamples;
     }
+    pump_(hierarchy);
+}
+
+void
+TraceReplayer::step(cache::Hierarchy *hierarchy)
+{
+    CHERIVOKE_ASSERT(!done(), "(step past the end of the trace)");
+    auto &memory = space_->memory();
+    const TraceOp &op = trace_->ops[next_++];
+    result_.virtualSeconds += op.dt;
+    switch (op.kind) {
+      case OpKind::Malloc: {
+        const cap::Capability c = alloc_->malloc(op.size);
+        // Programs initialise allocations before use; the data
+        // writes clear any stale tags left by a previous
+        // occupant of recycled memory.
+        memory.fill(c.base(), 0, alloc_->usableSize(c.base()));
+        objects_.emplace(op.id, c);
+        ++result_.allocCalls;
+        pumpEngine(hierarchy);
+        break;
+      }
+      case OpKind::Free: {
+        auto it = objects_.find(op.id);
+        if (it == objects_.end())
+            break;
+        result_.freedBytes += alloc_->usableSize(it->second.base());
+        alloc_->free(it->second);
+        objects_.erase(it);
+        ++result_.freeCalls;
+        pumpEngine(hierarchy);
+        break;
+      }
+      case OpKind::StorePtr: {
+        auto dst = objects_.find(op.dst);
+        auto src = objects_.find(op.src);
+        if (dst == objects_.end() || src == objects_.end())
+            break;
+        const uint64_t usable =
+            alloc_->usableSize(dst->second.base());
+        if (usable < kCapBytes)
+            break;
+        const uint64_t offset =
+            std::min<uint64_t>(op.offset, usable - kCapBytes) &
+            ~(kCapBytes - 1);
+        memory.writeCap(dst->second.base() + offset, src->second);
+        ++result_.ptrStores;
+        break;
+      }
+      case OpKind::StoreData: {
+        auto dst = objects_.find(op.dst);
+        if (dst == objects_.end())
+            break;
+        const uint64_t usable =
+            alloc_->usableSize(dst->second.base());
+        if (usable < 8)
+            break;
+        const uint64_t offset =
+            std::min<uint64_t>(op.offset, usable - 8) & ~7ULL;
+        memory.storeU64(dst->second, dst->second.base() + offset,
+                        0x5a5a5a5a5a5a5a5aULL);
+        break;
+      }
+      case OpKind::RootPtr: {
+        auto src = objects_.find(op.src);
+        if (src == objects_.end())
+            break;
+        const uint64_t slots = space_->globals().size / kCapBytes;
+        const uint64_t slot = op.offset % slots;
+        memory.writeCap(space_->globals().base + slot * kCapBytes,
+                        src->second);
+        break;
+      }
+    }
+    trackPeaks();
+}
+
+DriverResult
+TraceReplayer::finish(cache::Hierarchy *hierarchy)
+{
+    CHERIVOKE_ASSERT(!finished_, "(finish called twice)");
+    finished_ = true;
 
     // A concurrent-policy epoch may still be open: drain it so the
     // run's revocation totals are complete.
     if (engine_ && engine_->epochOpen())
         engine_->drain(hierarchy);
 
-    if (result.densitySamples > 0) {
-        result.pageDensity =
-            page_density_acc / result.densitySamples;
-        result.lineDensity =
-            line_density_acc / result.densitySamples;
+    if (result_.densitySamples > 0) {
+        result_.pageDensity =
+            page_density_acc_ / result_.densitySamples;
+        result_.lineDensity =
+            line_density_acc_ / result_.densitySamples;
     } else {
         const DensitySample d = measureDensities(*space_);
-        result.pageDensity = d.pageDensity;
-        result.lineDensity = d.lineDensity;
-        result.densitySamples = 1;
+        result_.pageDensity = d.pageDensity;
+        result_.lineDensity = d.lineDensity;
+        result_.densitySamples = 1;
     }
 
-    if (result.virtualSeconds > 0) {
-        result.measuredFreeRateMiBps =
-            static_cast<double>(result.freedBytes) / MiB /
-            result.virtualSeconds;
-        result.measuredFreesPerSec =
-            static_cast<double>(result.freeCalls) /
-            result.virtualSeconds;
+    if (result_.virtualSeconds > 0) {
+        result_.measuredFreeRateMiBps =
+            static_cast<double>(result_.freedBytes) / MiB /
+            result_.virtualSeconds;
+        result_.measuredFreesPerSec =
+            static_cast<double>(result_.freeCalls) /
+            result_.virtualSeconds;
     }
     if (engine_)
-        result.revoker = engine_->totals();
-    return result;
+        result_.revoker = engine_->totals();
+    return result_;
+}
+
+DriverResult
+TraceDriver::run(const Trace &trace, cache::Hierarchy *hierarchy)
+{
+    TraceReplayer replayer(*space_, *alloc_, engine_, trace);
+    while (!replayer.done())
+        replayer.step(hierarchy);
+    return replayer.finish(hierarchy);
 }
 
 } // namespace workload

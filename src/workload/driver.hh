@@ -11,6 +11,8 @@
 #define CHERIVOKE_WORKLOAD_DRIVER_HH
 
 #include <cstdint>
+#include <functional>
+#include <map>
 
 #include "alloc/cherivoke_alloc.hh"
 #include "cache/hierarchy.hh"
@@ -42,6 +44,8 @@ struct DriverResult
     uint64_t peakLiveBytes = 0;
     uint64_t peakQuarantineBytes = 0;
     uint64_t peakFootprintBytes = 0;
+    /** Most allocations simultaneously live (PICASSO-style scale). */
+    uint64_t peakLiveAllocs = 0;
 
     /** Rates over virtual time (table 2 columns, at trace scale). */
     double measuredFreeRateMiBps = 0;
@@ -54,6 +58,72 @@ struct DriverResult
     uint64_t densitySamples = 0;
 
     revoke::EngineTotals revoker;
+};
+
+/**
+ * One-op-at-a-time trace replay: the stepping core TraceDriver::run
+ * is built on, exposed so the tenant scheduler can interleave many
+ * tenants' streams op by op through one shared revocation engine.
+ *
+ * Each step applies the next trace op to the allocator/memory and,
+ * after Malloc/Free, samples pointer densities when an epoch is
+ * about to open and pumps the engine (the default pump calls
+ * engine->maybeRevoke(); a multi-tenant host installs its own pump
+ * to select the engine domain and apply its revocation scope first).
+ */
+class TraceReplayer
+{
+  public:
+    using PumpFn = std::function<void(cache::Hierarchy *)>;
+
+    /**
+     * @param engine nullable: without it, frees quarantine but no
+     *        sweeps run (the fig. 6 "quarantine only" configuration)
+     */
+    TraceReplayer(mem::AddressSpace &space,
+                  alloc::CherivokeAllocator &allocator,
+                  revoke::RevocationEngine *engine,
+                  const Trace &trace);
+
+    /** Replace the engine pump (multi-tenant scheduling hook). */
+    void setPump(PumpFn pump) { pump_ = std::move(pump); }
+
+    /** All ops applied (finish() may still be outstanding). */
+    bool done() const { return next_ >= trace_->ops.size(); }
+    size_t opsApplied() const { return next_; }
+    size_t opsTotal() const { return trace_->ops.size(); }
+
+    /** Currently live (not yet freed) trace allocations. */
+    uint64_t liveObjects() const { return objects_.size(); }
+
+    /** Apply the next op; must not be called once done(). */
+    void step(cache::Hierarchy *hierarchy = nullptr);
+
+    /**
+     * Drain any open epoch and finalise rates and densities.
+     * Callable once, after done(); the replayer is spent afterwards.
+     */
+    DriverResult finish(cache::Hierarchy *hierarchy = nullptr);
+
+    /** Results accumulated so far (peaks, counters; not yet rates). */
+    const DriverResult &partial() const { return result_; }
+
+  private:
+    void pumpEngine(cache::Hierarchy *hierarchy);
+    void trackPeaks();
+
+    mem::AddressSpace *space_;
+    alloc::CherivokeAllocator *alloc_;
+    revoke::RevocationEngine *engine_;
+    const Trace *trace_;
+    PumpFn pump_;
+
+    std::map<uint64_t, cap::Capability> objects_; //!< trace id -> cap
+    DriverResult result_;
+    double page_density_acc_ = 0;
+    double line_density_acc_ = 0;
+    size_t next_ = 0;
+    bool finished_ = false;
 };
 
 /** Replays traces against an allocator + revocation engine. */

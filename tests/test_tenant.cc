@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Multi-tenant subsystem tests: scheduler fairness and determinism,
+ * tenant address-space isolation over the shared TaggedMemory,
+ * per-tenant sweep scoping (one tenant's revocation never touches
+ * another's capabilities), global-scope draining, run-to-run
+ * determinism, and 1-tenant parity with the classic single-process
+ * TraceDriver pipeline.
+ */
+
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/env.hh"
+#include "support/logging.hh"
+#include "tenant/tenant_manager.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth.hh"
+
+using namespace cherivoke;
+
+namespace {
+
+/** A small alloc/free-heavy trace (~20k ops, ~1.6 MiB live). */
+workload::Trace
+smallTrace(uint64_t seed)
+{
+    workload::BenchmarkProfile profile =
+        workload::profileFor("dealII");
+    workload::SynthConfig cfg;
+    cfg.scale = 1.0 / 512;
+    cfg.durationSec = 2.0;
+    cfg.seed = seed;
+    return workload::synthesize(profile, cfg);
+}
+
+/** Tenant tuned so smallTrace triggers several sweeps: the scaled
+ *  free rate covers the 5%-of-heap quarantine budget a few times
+ *  within the trace's virtual duration. */
+tenant::TenantConfig
+smallTenant(const std::string &name, double weight = 1.0)
+{
+    tenant::TenantConfig cfg;
+    cfg.name = name;
+    cfg.weight = weight;
+    cfg.alloc.quarantineFraction = 0.05;
+    cfg.alloc.minQuarantineBytes = 16 * KiB;
+    cfg.alloc.dl.initialHeapBytes = 256 * KiB;
+    cfg.alloc.dl.growthChunkBytes = 128 * KiB;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TenantScheduler, SmoothWeightedRotation)
+{
+    // 2:1:1 interleaves smoothly — the period is ABCA (A's two
+    // shares spaced out), not a burst like AABC.
+    tenant::TenantScheduler sched({2, 1, 1});
+    std::string order;
+    size_t counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8; ++i) {
+        const size_t w = sched.next();
+        order += static_cast<char>('A' + w);
+        ++counts[w];
+    }
+    EXPECT_EQ(order, "ABCAABCA");
+    EXPECT_EQ(counts[0], 4u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 2u);
+}
+
+TEST(TenantScheduler, MarkDoneRedistributes)
+{
+    tenant::TenantScheduler sched({1, 1});
+    EXPECT_EQ(sched.activeCount(), 2u);
+    sched.markDone(0);
+    EXPECT_EQ(sched.activeCount(), 1u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(sched.next(), 1u);
+    sched.markDone(1);
+    EXPECT_TRUE(sched.allDone());
+}
+
+TEST(TenantScheduler, RejectsBadWeights)
+{
+    EXPECT_THROW(tenant::TenantScheduler({1.0, 0.0}), FatalError);
+    EXPECT_THROW(tenant::TenantScheduler({-2.0}), FatalError);
+}
+
+TEST(TenantLayout, StridedDisjointRegions)
+{
+    const auto l0 = tenant::layoutForTenant(0);
+    const auto l1 = tenant::layoutForTenant(1);
+    // Tenant 0 is exactly the classic single-process layout.
+    EXPECT_EQ(l0.globalsBase, mem::kGlobalsBase);
+    EXPECT_EQ(l0.heapBase, mem::kHeapBase);
+    EXPECT_EQ(l0.stackBase, mem::kStackBase);
+    // Tenant 1 is the same image one stride up, below the shadow.
+    EXPECT_EQ(l1.heapBase, mem::kHeapBase + tenant::kTenantStride);
+    EXPECT_LT(tenant::layoutForTenant(tenant::kMaxTenants - 1)
+                  .stackBase,
+              mem::kShadowBase);
+    EXPECT_THROW(tenant::layoutForTenant(tenant::kMaxTenants),
+                 FatalError);
+}
+
+TEST(TenantManager, IsolationAndPerTenantSweepScope)
+{
+    tenant::TenantManagerConfig mgr_cfg;
+    mgr_cfg.scope = tenant::RevocationScope::PerTenant;
+    tenant::TenantManager manager(mgr_cfg);
+    manager.addTenant(smallTenant("a"), workload::Trace{});
+    manager.addTenant(smallTenant("b"), workload::Trace{});
+
+    tenant::Tenant &a = manager.tenant(0);
+    tenant::Tenant &b = manager.tenant(1);
+
+    // Allocations land in each tenant's own stride of the shared
+    // memory.
+    const cap::Capability ca = a.allocator().malloc(64);
+    const cap::Capability cb = b.allocator().malloc(64);
+    EXPECT_GE(ca.base(), mem::kHeapBase);
+    EXPECT_LT(ca.base(), tenant::kTenantStride);
+    EXPECT_GE(cb.base(), tenant::kTenantStride + mem::kHeapBase);
+
+    // Both tenants store a capability to their object in their own
+    // globals; freeing + revoking tenant a's object must strip a's
+    // stored capability and leave b's untouched.
+    manager.memory().writeCap(a.space().globals().base, ca);
+    manager.memory().writeCap(b.space().globals().base, cb);
+    a.allocator().free(ca);
+    manager.engine().selectDomain(0);
+    manager.engine().revokeNow();
+
+    EXPECT_FALSE(
+        manager.memory().readCap(a.space().globals().base).tag());
+    EXPECT_TRUE(
+        manager.memory().readCap(b.space().globals().base).tag());
+
+    // The sweep was scoped to tenant a's segments: domain totals
+    // show epochs only for domain 0.
+    EXPECT_EQ(manager.engine().domainTotals(0).epochs, 1u);
+    EXPECT_EQ(manager.engine().domainTotals(1).epochs, 0u);
+    EXPECT_EQ(manager.engine().totals().epochs, 1u);
+}
+
+TEST(TenantManager, GlobalScopeDrainsEveryQuarantine)
+{
+    tenant::TenantManagerConfig mgr_cfg;
+    mgr_cfg.scope = tenant::RevocationScope::Global;
+    tenant::TenantManager manager(mgr_cfg);
+    // Tenant a's trace fills its quarantine; tenant b only trickles.
+    manager.addTenant(smallTenant("a"), smallTrace(11));
+    manager.addTenant(smallTenant("b"), smallTrace(12));
+
+    const tenant::MultiTenantResult result = manager.run();
+    // Under global scope both tenants revoke (b is dragged along
+    // whenever a triggers).
+    EXPECT_GT(result.tenants[0].run.revoker.epochs, 0u);
+    EXPECT_GT(result.tenants[1].run.revoker.epochs, 0u);
+    EXPECT_EQ(result.engine.epochs,
+              result.tenants[0].run.revoker.epochs +
+                  result.tenants[1].run.revoker.epochs);
+}
+
+TEST(TenantManager, DeterministicReplay)
+{
+    auto once = [] {
+        tenant::TenantManagerConfig mgr_cfg;
+        tenant::TenantManager manager(mgr_cfg);
+        manager.addTenant(smallTenant("a", 2.0), smallTrace(21));
+        manager.addTenant(smallTenant("b", 1.0), smallTrace(22));
+        manager.addTenant(smallTenant("c", 1.0), smallTrace(23));
+        return manager.run();
+    };
+    const tenant::MultiTenantResult x = once();
+    const tenant::MultiTenantResult y = once();
+
+    EXPECT_EQ(x.totalOps, y.totalOps);
+    EXPECT_EQ(x.peakAggLiveAllocs, y.peakAggLiveAllocs);
+    EXPECT_EQ(x.peakAggLiveBytes, y.peakAggLiveBytes);
+    EXPECT_EQ(x.engine, y.engine);
+    ASSERT_EQ(x.tenants.size(), y.tenants.size());
+    for (size_t i = 0; i < x.tenants.size(); ++i) {
+        EXPECT_EQ(x.tenants[i].run.revoker,
+                  y.tenants[i].run.revoker);
+        EXPECT_EQ(x.tenants[i].run.peakLiveAllocs,
+                  y.tenants[i].run.peakLiveAllocs);
+        EXPECT_EQ(x.tenants[i].run.pageDensity,
+                  y.tenants[i].run.pageDensity);
+    }
+}
+
+TEST(TenantManager, SingleTenantMatchesTraceDriver)
+{
+    const workload::Trace trace = smallTrace(31);
+
+    // Classic single-process pipeline, with the same segment sizes
+    // the tenant's process image gets.
+    const tenant::TenantConfig tcfg = smallTenant("solo");
+    mem::AddressSpace space(tcfg.globalsBytes, tcfg.stackBytes);
+    alloc::CherivokeAllocator allocator(space, tcfg.alloc);
+    revoke::RevocationEngine engine(allocator, space);
+    workload::TraceDriver driver(space, allocator, &engine);
+    const workload::DriverResult a = driver.run(trace);
+
+    // The same trace hosted as the only tenant.
+    tenant::TenantManager manager{tenant::TenantManagerConfig{}};
+    manager.addTenant(tcfg, trace);
+    const tenant::MultiTenantResult multi = manager.run();
+    const workload::DriverResult &b = multi.tenants[0].run;
+
+    EXPECT_EQ(a.allocCalls, b.allocCalls);
+    EXPECT_EQ(a.freeCalls, b.freeCalls);
+    EXPECT_EQ(a.freedBytes, b.freedBytes);
+    EXPECT_EQ(a.ptrStores, b.ptrStores);
+    EXPECT_EQ(a.peakLiveBytes, b.peakLiveBytes);
+    EXPECT_EQ(a.peakLiveAllocs, b.peakLiveAllocs);
+    EXPECT_EQ(a.peakQuarantineBytes, b.peakQuarantineBytes);
+    EXPECT_EQ(a.peakFootprintBytes, b.peakFootprintBytes);
+    EXPECT_EQ(a.pageDensity, b.pageDensity);
+    EXPECT_EQ(a.lineDensity, b.lineDensity);
+    EXPECT_EQ(a.revoker, b.revoker);
+    EXPECT_EQ(multi.peakAggLiveAllocs, a.peakLiveAllocs);
+}
+
+TEST(TenantManager, SharedEngineAggregatesAcrossTenants)
+{
+    tenant::TenantManager manager{tenant::TenantManagerConfig{}};
+    manager.addTenant(smallTenant("a"), smallTrace(41));
+    manager.addTenant(smallTenant("b"), smallTrace(42));
+    const tenant::MultiTenantResult result = manager.run();
+
+    EXPECT_GT(result.engine.epochs, 0u);
+    EXPECT_EQ(result.engine.epochs,
+              result.tenants[0].run.revoker.epochs +
+                  result.tenants[1].run.revoker.epochs);
+    EXPECT_EQ(result.allocCalls, result.tenants[0].run.allocCalls +
+                                     result.tenants[1].run.allocCalls);
+    EXPECT_GT(result.peakAggLiveAllocs, 0u);
+    EXPECT_EQ(result.tenantEpochs.count(), 2u);
+    // Every tenant triggered sweeps of its own region.
+    EXPECT_GT(result.tenants[0].run.revoker.epochs, 0u);
+    EXPECT_GT(result.tenants[1].run.revoker.epochs, 0u);
+}
+
+TEST(EnvParsing, StrictIntegerAndFloat)
+{
+    int64_t i = 0;
+    EXPECT_TRUE(parseI64("42", i));
+    EXPECT_EQ(i, 42);
+    EXPECT_FALSE(parseI64("", i));
+    EXPECT_FALSE(parseI64("abc", i));
+    EXPECT_FALSE(parseI64("3x", i));
+    EXPECT_FALSE(parseI64("99999999999999999999", i));
+
+    double d = 0;
+    EXPECT_TRUE(parseF64("2.5", d));
+    EXPECT_DOUBLE_EQ(d, 2.5);
+    EXPECT_FALSE(parseF64("2.5q", d));
+    EXPECT_FALSE(parseF64("", d));
+
+    // Unset -> fallback; malformed -> fatal, never a silent default.
+    unsetenv("CHERIVOKE_TEST_KNOB");
+    EXPECT_EQ(envI64("CHERIVOKE_TEST_KNOB", 7), 7);
+    setenv("CHERIVOKE_TEST_KNOB", "abc", 1);
+    EXPECT_THROW(envI64("CHERIVOKE_TEST_KNOB", 7), FatalError);
+    setenv("CHERIVOKE_TEST_KNOB", "0", 1);
+    EXPECT_THROW(envI64("CHERIVOKE_TEST_KNOB", 7), FatalError);
+    setenv("CHERIVOKE_TEST_KNOB", "12", 1);
+    EXPECT_EQ(envI64("CHERIVOKE_TEST_KNOB", 7), 12);
+
+    setenv("CHERIVOKE_TEST_KNOB", "2,1,1", 1);
+    const std::vector<double> w =
+        envF64List("CHERIVOKE_TEST_KNOB");
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_DOUBLE_EQ(w[0], 2.0);
+    setenv("CHERIVOKE_TEST_KNOB", "2,,1", 1);
+    EXPECT_THROW(envF64List("CHERIVOKE_TEST_KNOB"), FatalError);
+    unsetenv("CHERIVOKE_TEST_KNOB");
+    EXPECT_TRUE(envF64List("CHERIVOKE_TEST_KNOB").empty());
+}
+
+TEST(TenantScope, ParseAndName)
+{
+    tenant::RevocationScope scope;
+    EXPECT_TRUE(tenant::parseScope("per-tenant", scope));
+    EXPECT_EQ(scope, tenant::RevocationScope::PerTenant);
+    EXPECT_TRUE(tenant::parseScope("global", scope));
+    EXPECT_EQ(scope, tenant::RevocationScope::Global);
+    EXPECT_FALSE(tenant::parseScope("bogus", scope));
+    EXPECT_STREQ(tenant::scopeName(
+                     tenant::RevocationScope::PerTenant),
+                 "per-tenant");
+}

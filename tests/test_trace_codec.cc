@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Binary trace codec tests: header/record layout, canonical
+ * round-tripping (record → serialize → deserialize → replay), error
+ * paths, and the end-to-end guarantee the multi-tenant benches rely
+ * on — a decoded trace replays to *identical* allocator and
+ * revocation statistics.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "revoke/revocation_engine.hh"
+#include "support/logging.hh"
+#include "tenant/trace_codec.hh"
+#include "workload/driver.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth.hh"
+
+using namespace cherivoke;
+using workload::OpKind;
+using workload::Trace;
+using workload::TraceOp;
+
+namespace {
+
+Trace
+sampleTrace()
+{
+    const char *text = R"(# cherivoke-trace v1
+malloc 1 4096 0 0 0 0
+malloc 2 128 0 0 0 0.001
+storeptr 0 0 1 2 16 0
+rootptr 0 0 2 0 7 0
+storedata 0 0 0 1 64 0.001
+free 1 0 0 0 0 0.001
+malloc 3 256 0 0 0 0.001
+free 2 0 0 0 0 0.0005
+free 3 0 0 0 0 0.001
+)";
+    std::istringstream is(text);
+    return Trace::load(is);
+}
+
+// Field-wise (not memcmp: struct padding is indeterminate). dt is
+// compared bit-exactly — the codec stores the IEEE double verbatim.
+bool
+opsIdentical(const Trace &a, const Trace &b)
+{
+    if (a.ops.size() != b.ops.size())
+        return false;
+    for (size_t i = 0; i < a.ops.size(); ++i) {
+        const TraceOp &x = a.ops[i], &y = b.ops[i];
+        uint64_t dtx, dty;
+        std::memcpy(&dtx, &x.dt, sizeof(dtx));
+        std::memcpy(&dty, &y.dt, sizeof(dty));
+        if (x.kind != y.kind || x.id != y.id || x.size != y.size ||
+            x.src != y.src || x.dst != y.dst ||
+            x.offset != y.offset || dtx != dty)
+            return false;
+    }
+    return true;
+}
+
+workload::DriverResult
+replay(const Trace &trace)
+{
+    mem::AddressSpace space;
+    alloc::CherivokeConfig cfg;
+    cfg.minQuarantineBytes = 4 * KiB;
+    alloc::CherivokeAllocator allocator(space, cfg);
+    revoke::RevocationEngine engine(allocator, space);
+    workload::TraceDriver driver(space, allocator, &engine);
+    return driver.run(trace);
+}
+
+} // namespace
+
+TEST(TraceCodec, HeaderLayout)
+{
+    const Trace trace = sampleTrace();
+    const std::vector<uint8_t> bytes = tenant::encodeTrace(trace);
+    ASSERT_EQ(bytes.size(), tenant::encodedTraceBytes(trace));
+    ASSERT_EQ(bytes.size(), tenant::kTraceHeaderBytes +
+                                trace.ops.size() *
+                                    tenant::kTraceRecordBytes);
+    // Magic is the ASCII string "CHERIVTB".
+    EXPECT_EQ(0, std::memcmp(bytes.data(), "CHERIVTB", 8));
+    EXPECT_TRUE(tenant::isBinaryTrace(bytes.data(), bytes.size()));
+
+    // A text trace is not mistaken for binary.
+    const uint8_t text[] = "# cherivoke-trace v1\n";
+    EXPECT_FALSE(tenant::isBinaryTrace(text, sizeof(text)));
+}
+
+TEST(TraceCodec, RoundTripByteIdentical)
+{
+    const Trace trace = sampleTrace();
+    const std::vector<uint8_t> bytes = tenant::encodeTrace(trace);
+    const Trace decoded = tenant::decodeTrace(bytes);
+
+    // The op stream survives byte for byte...
+    EXPECT_TRUE(opsIdentical(trace, decoded));
+    EXPECT_DOUBLE_EQ(trace.virtualSeconds(),
+                     decoded.virtualSeconds());
+    // ...and so does a re-encode of the decode.
+    EXPECT_EQ(bytes, tenant::encodeTrace(decoded));
+}
+
+TEST(TraceCodec, SynthesizedRoundTripAndReplayStats)
+{
+    // A real synthesised workload: the round trip must preserve the
+    // ops exactly AND replaying original vs decoded must produce
+    // identical end-of-run allocator/revocation statistics.
+    workload::SynthConfig cfg;
+    cfg.scale = 1.0 / 256;
+    cfg.durationSec = 0.3;
+    cfg.seed = 7;
+    const Trace trace =
+        workload::synthesize(workload::profileFor("dealII"), cfg);
+    ASSERT_GT(trace.ops.size(), 1000u);
+
+    const Trace decoded =
+        tenant::decodeTrace(tenant::encodeTrace(trace));
+    ASSERT_TRUE(opsIdentical(trace, decoded));
+
+    const workload::DriverResult a = replay(trace);
+    const workload::DriverResult b = replay(decoded);
+    EXPECT_EQ(a.allocCalls, b.allocCalls);
+    EXPECT_EQ(a.freeCalls, b.freeCalls);
+    EXPECT_EQ(a.freedBytes, b.freedBytes);
+    EXPECT_EQ(a.ptrStores, b.ptrStores);
+    EXPECT_EQ(a.peakLiveBytes, b.peakLiveBytes);
+    EXPECT_EQ(a.peakLiveAllocs, b.peakLiveAllocs);
+    EXPECT_EQ(a.peakQuarantineBytes, b.peakQuarantineBytes);
+    EXPECT_EQ(a.revoker.epochs, b.revoker.epochs);
+    EXPECT_TRUE(a.revoker.sweep == b.revoker.sweep);
+    EXPECT_EQ(a.revoker.paint.total(), b.revoker.paint.total());
+    EXPECT_EQ(a.revoker.bytesReleased, b.revoker.bytesReleased);
+    EXPECT_DOUBLE_EQ(a.virtualSeconds, b.virtualSeconds);
+}
+
+TEST(TraceCodec, FileRoundTripAndTextFallback)
+{
+    const Trace trace = sampleTrace();
+    const std::string bin_path =
+        testing::TempDir() + "codec_test.cvt";
+    tenant::saveTraceFile(bin_path, trace);
+    EXPECT_TRUE(opsIdentical(trace,
+                             tenant::loadTraceFile(bin_path)));
+    std::remove(bin_path.c_str());
+
+    // loadTraceFile falls back to the text format transparently.
+    const std::string text_path =
+        testing::TempDir() + "codec_test.trace";
+    {
+        std::ostringstream os;
+        trace.save(os);
+        FILE *f = std::fopen(text_path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs(os.str().c_str(), f);
+        std::fclose(f);
+    }
+    EXPECT_TRUE(opsIdentical(trace,
+                             tenant::loadTraceFile(text_path)));
+    std::remove(text_path.c_str());
+}
+
+TEST(TraceCodec, RejectsMalformedInput)
+{
+    const Trace trace = sampleTrace();
+    std::vector<uint8_t> bytes = tenant::encodeTrace(trace);
+
+    // Truncated header.
+    EXPECT_THROW(tenant::decodeTrace(bytes.data(), 8), FatalError);
+    // Truncated records.
+    EXPECT_THROW(tenant::decodeTrace(bytes.data(), bytes.size() - 1),
+                 FatalError);
+    // Bad magic.
+    {
+        std::vector<uint8_t> bad = bytes;
+        bad[0] ^= 0xff;
+        EXPECT_THROW(tenant::decodeTrace(bad), FatalError);
+    }
+    // Unsupported version.
+    {
+        std::vector<uint8_t> bad = bytes;
+        bad[8] = 99;
+        EXPECT_THROW(tenant::decodeTrace(bad), FatalError);
+    }
+    // Unknown op kind in a record.
+    {
+        std::vector<uint8_t> bad = bytes;
+        bad[tenant::kTraceHeaderBytes] = 0x7f;
+        EXPECT_THROW(tenant::decodeTrace(bad), FatalError);
+    }
+    // Unencodable offset.
+    {
+        Trace wide = trace;
+        TraceOp op;
+        op.kind = OpKind::StoreData;
+        op.dst = 1;
+        op.offset = uint64_t{1} << 40;
+        wide.ops.push_back(op);
+        EXPECT_THROW(tenant::encodeTrace(wide), FatalError);
+    }
+    // Missing file.
+    EXPECT_THROW(tenant::loadTraceFile("/nonexistent/x.cvt"),
+                 FatalError);
+}
