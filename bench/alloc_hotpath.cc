@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Mutator-side allocator/quarantine hot-path throughput bench: how
+ * fast do the *simulated program's* malloc and free run, independent
+ * of the modelled cycle counts? The sweep-side twin is
+ * bench/sweep_hotpath; this bench covers the other half of the
+ * CHERIvoke cost story — the paper's premise is that temporal safety
+ * costs live in the sweep, so the mutator path must stay cheap even
+ * at PICASSO scale (millions of live allocations).
+ *
+ * Phases, all deterministic (fixed RNG seed):
+ *  - ramp: malloc LIVE allocations from an empty heap
+ *    (-> malloc ops/s at a growing heap);
+ *  - free burst: free the oldest half FIFO, which maximises §5.2 run
+ *    aggregation; sweeps that trigger are timed and subtracted
+ *    (-> pure quarantine add rate);
+ *  - churn: random-victim malloc/free pairs across several sweep
+ *    epochs, including sweep time (-> sustained mutator ops/s, the
+ *    figure that exercises takeFromBins against populated bins);
+ *  - tenant: the bench/tenant_scale mutator loop (8 tenants, the
+ *    aggregate-allocation target) timed wall-clock
+ *    (-> trace ops/s through the full sim + tenant stack).
+ *
+ * Correctness gates (any failure exits non-zero): validateHeap()
+ * after every phase — which also asserts bin-bitmap/bin-list
+ * consistency and the raw-span tag-invalidation contract — plus
+ * quarantine byte accounting and post-sweep reuse.
+ *
+ * Results go to stdout and BENCH_alloc.json (trajectory tracking,
+ * uploaded by CI next to BENCH_sweep.json / BENCH_tenant.json).
+ *
+ * Environment (strict parsing):
+ *   CHERIVOKE_ALLOC_LIVE        = live-allocation target (default
+ *                                 1000000, the tenant_scale scale)
+ *   CHERIVOKE_ALLOC_CHURN       = churn-phase op pairs (default
+ *                                 LIVE/2)
+ *   CHERIVOKE_TENANT_AGG_ALLOCS = tenant-phase aggregate target
+ *                                 (default 1000000; 0 skips the
+ *                                 tenant phase)
+ *   CHERIVOKE_TENANT_MAX        = tenant count (default 8)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "support/rng.hh"
+
+using namespace cherivoke;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The tenant_scale slice profile (see bench/tenant_scale.cc). */
+constexpr double kMeanAllocBytes = 128.0;
+constexpr double kAggFreeRateMiBps = 64.0;
+
+workload::BenchmarkProfile
+sliceProfile(unsigned tenants, uint64_t agg_allocs)
+{
+    workload::BenchmarkProfile p;
+    p.name = "tenant_slice";
+    p.pagesWithPointers = 0.35;
+    p.linePointerDensity = 0.06;
+    p.temporalFragmentation = 0;
+    const double agg_heap_bytes =
+        static_cast<double>(agg_allocs) * kMeanAllocBytes * 1.10;
+    p.liveHeapMiB = agg_heap_bytes / MiB / tenants;
+    p.freeRateMiBps = kAggFreeRateMiBps / tenants;
+    p.freesPerSec =
+        kAggFreeRateMiBps * MiB / kMeanAllocBytes / tenants;
+    p.appDramMiBps = 2000.0 / tenants;
+    return p;
+}
+
+/** Run any due sweep to completion; returns the wall seconds it
+ *  spent so mutator-phase timings can subtract it. */
+double
+sweepIfDue(alloc::CherivokeAllocator &heap, uint64_t &sweeps)
+{
+    if (!heap.needsSweep())
+        return 0;
+    const double t0 = now();
+    heap.prepareSweep();
+    heap.finishSweep();
+    ++sweeps;
+    return now() - t0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const uint64_t live_target = static_cast<uint64_t>(
+        envI64("CHERIVOKE_ALLOC_LIVE", 1000000));
+    const uint64_t churn_pairs = static_cast<uint64_t>(
+        envI64("CHERIVOKE_ALLOC_CHURN",
+               static_cast<int64_t>(live_target / 2)));
+    const uint64_t agg_allocs = static_cast<uint64_t>(
+        envI64("CHERIVOKE_TENANT_AGG_ALLOCS", 1000000));
+    const unsigned tenants = static_cast<unsigned>(
+        envI64("CHERIVOKE_TENANT_MAX", 8));
+
+    bench::printSystems(
+        "Mutator allocator/quarantine hot-path throughput "
+        "(bench/alloc_hotpath)");
+    std::printf("live-allocation target: %llu\n\n",
+                static_cast<unsigned long long>(live_target));
+
+    bool ok = true;
+    mem::AddressSpace space;
+    alloc::CherivokeAllocator heap(space, alloc::CherivokeConfig{});
+    Rng rng(99);
+    std::deque<cap::Capability> live;
+
+    // ---- Phase A: ramp — malloc ops/s on a growing heap ---------
+    const double ramp0 = now();
+    for (uint64_t i = 0; i < live_target; ++i)
+        live.push_back(heap.malloc(rng.nextLogUniform(16, 512)));
+    const double ramp_sec = now() - ramp0;
+    const double malloc_ops =
+        static_cast<double>(live_target) / ramp_sec;
+    heap.dl().validateHeap();
+
+    // ---- Phase B: FIFO free burst — quarantine add rate ---------
+    const uint64_t burst = live.size() / 2;
+    uint64_t sweeps = 0;
+    double sweep_sec = 0;
+    const double burst0 = now();
+    for (uint64_t i = 0; i < burst; ++i) {
+        heap.free(live.front());
+        live.pop_front();
+        sweep_sec += sweepIfDue(heap, sweeps);
+    }
+    const double burst_sec = now() - burst0 - sweep_sec;
+    const double free_ops = static_cast<double>(burst) / burst_sec;
+    heap.dl().validateHeap();
+    if (heap.quarantinedBytes() >
+        heap.liveBytes() + heap.footprintBytes()) {
+        std::printf("FAILED: quarantine accounting out of range\n");
+        ok = false;
+    }
+
+    // ---- Phase C: churn — sustained malloc+free incl. sweeps ----
+    uint64_t churn_sweeps = 0;
+    double churn_sweep_sec = 0;
+    const double churn0 = now();
+    for (uint64_t i = 0; i < churn_pairs; ++i) {
+        const size_t victim = rng.nextBounded(live.size());
+        heap.free(live[victim]);
+        live[victim] = heap.malloc(rng.nextLogUniform(16, 512));
+        churn_sweep_sec += sweepIfDue(heap, churn_sweeps);
+    }
+    const double churn_sec = now() - churn0;
+    const double churn_ops =
+        static_cast<double>(2 * churn_pairs) / churn_sec;
+    heap.dl().validateHeap();
+    if (churn_sweeps == 0 && churn_pairs >= live_target / 4) {
+        std::printf("FAILED: churn phase never swept — the bench "
+                    "is not exercising post-sweep reuse\n");
+        ok = false;
+    }
+
+    const stats::MutatorPathSummary mutator =
+        stats::summarizeMutatorPath(heap.dl().counters());
+
+    // ---- Phase D: the tenant_scale mutator loop -----------------
+    double tenant_wall = 0, tenant_ops_per_sec = 0;
+    uint64_t tenant_ops = 0;
+    if (agg_allocs > 0) {
+        const workload::BenchmarkProfile profile =
+            sliceProfile(tenants, agg_allocs);
+        sim::ExperimentConfig cfg = bench::defaultConfig();
+        cfg.tenants = tenants;
+        cfg.tenantWeights.clear();
+        cfg.tenantHeapMiB = 0;
+        cfg.scale = 1.0;
+        cfg.durationSec = 2.0;
+        const std::vector<workload::Trace> traces =
+            sim::synthesizeTenantTraces(profile, cfg);
+        const double t0 = now();
+        const sim::MultiTenantBenchResult r =
+            sim::runMultiTenantBenchmark(
+                profile, cfg, sim::MachineProfile::x86(), &traces);
+        tenant_wall = now() - t0;
+        tenant_ops = r.run.totalOps;
+        tenant_ops_per_sec =
+            static_cast<double>(tenant_ops) / tenant_wall;
+        if (r.run.peakAggLiveAllocs < agg_allocs) {
+            std::printf("FAILED: tenant phase peaked at %llu live "
+                        "allocations, below the %llu target\n",
+                        static_cast<unsigned long long>(
+                            r.run.peakAggLiveAllocs),
+                        static_cast<unsigned long long>(agg_allocs));
+            ok = false;
+        }
+    }
+
+    // ---- Report -------------------------------------------------
+    stats::TextTable table({"phase", "ops", "wall s", "Mops/s"});
+    table.addRow({"malloc ramp",
+                  std::to_string(live_target),
+                  stats::TextTable::num(ramp_sec, 2),
+                  stats::TextTable::num(malloc_ops / 1e6, 3)});
+    table.addRow({"free burst (quarantine add)",
+                  std::to_string(burst),
+                  stats::TextTable::num(burst_sec, 2),
+                  stats::TextTable::num(free_ops / 1e6, 3)});
+    table.addRow({"churn (malloc+free+sweeps)",
+                  std::to_string(2 * churn_pairs),
+                  stats::TextTable::num(churn_sec, 2),
+                  stats::TextTable::num(churn_ops / 1e6, 3)});
+    if (agg_allocs > 0) {
+        table.addRow({"tenant_scale mutator",
+                      std::to_string(tenant_ops),
+                      stats::TextTable::num(tenant_wall, 2),
+                      stats::TextTable::num(
+                          tenant_ops_per_sec / 1e6, 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n", mutator.render().c_str());
+    std::printf("sweeps during free burst: %llu (excluded from its "
+                "rate), during churn: %llu (%.2f s, included)\n\n",
+                static_cast<unsigned long long>(sweeps),
+                static_cast<unsigned long long>(churn_sweeps),
+                churn_sweep_sec);
+
+    // ---- BENCH_alloc.json ---------------------------------------
+    FILE *json = std::fopen("BENCH_alloc.json", "w");
+    if (json) {
+        std::fprintf(json, "{\n");
+        std::fprintf(json, "  \"bench\": \"alloc_hotpath\",\n");
+        std::fprintf(json, "  \"live_target\": %llu,\n",
+                     static_cast<unsigned long long>(live_target));
+        std::fprintf(json, "  \"malloc_ops_per_sec\": %.6g,\n",
+                     malloc_ops);
+        std::fprintf(json,
+                     "  \"quarantine_add_ops_per_sec\": %.6g,\n",
+                     free_ops);
+        std::fprintf(json, "  \"churn_ops_per_sec\": %.6g,\n",
+                     churn_ops);
+        std::fprintf(json, "  \"mean_bin_scan\": %.6g,\n",
+                     mutator.meanBinScanLength());
+        std::fprintf(json, "  \"raw_span_rate\": %.6g,\n",
+                     mutator.rawSpanRate());
+        std::fprintf(json, "  \"quarantine_merge_ratio\": %.6g,\n",
+                     mutator.mergeRatio());
+        std::fprintf(json,
+                     "  \"tenant\": {\"tenants\": %u, "
+                     "\"agg_allocs\": %llu, \"ops\": %llu, "
+                     "\"wall_sec\": %.6g, \"ops_per_sec\": %.6g},\n",
+                     tenants,
+                     static_cast<unsigned long long>(agg_allocs),
+                     static_cast<unsigned long long>(tenant_ops),
+                     tenant_wall, tenant_ops_per_sec);
+        std::fprintf(json, "  \"ok\": %s\n", ok ? "true" : "false");
+        std::fprintf(json, "}\n");
+        std::fclose(json);
+        std::printf("wrote BENCH_alloc.json\n");
+    }
+
+    std::printf(ok ? "OK: heap valid after every phase\n"
+                   : "FAILED: see gates above\n");
+    return ok ? 0 : 1;
+}

@@ -326,7 +326,8 @@ main()
                 "\"sweep_overhead\": %.6g, "
                 "\"shadow_overhead\": %.6g, "
                 "\"traffic_pct\": %.6g, \"scan_rate\": %.6g, "
-                "\"wall_sec\": %.6g, \"ops_per_sec\": %.6g}%s\n",
+                "\"wall_sec\": %.6g, \"ops_per_sec\": %.6g, "
+                "\"mutator_ops_per_sec\": %.6g}%s\n",
                 r.tenants,
                 static_cast<unsigned long long>(m.totalOps),
                 static_cast<unsigned long long>(
@@ -341,6 +342,7 @@ main()
                 r.bench.trafficOverheadPct, r.bench.achievedScanRate,
                 r.wallSec,
                 static_cast<double>(m.totalOps) / r.wallSec,
+                r.bench.mutatorOpsPerSec,
                 i + 1 < rows.size() ? "," : "");
         }
         std::fprintf(json, "  ],\n");

@@ -88,6 +88,8 @@ CherivokeAllocator::CherivokeAllocator(mem::AddressSpace &space,
 {
     CHERIVOKE_ASSERT(config_.quarantineFraction > 0,
                      "(quarantine fraction must be positive)");
+    c_quarantine_merges_ =
+        &dl_.counters().counter("alloc.quarantine_merges");
 }
 
 void
@@ -95,7 +97,8 @@ CherivokeAllocator::free(const cap::Capability &capability)
 {
     const DlAllocator::QuarantinedChunk chunk =
         dl_.quarantineFree(capability);
-    quarantine_.add(dl_, chunk.addr, chunk.size);
+    c_quarantine_merges_->increment(
+        quarantine_.add(dl_, chunk.addr, chunk.size));
 }
 
 cap::Capability
@@ -146,7 +149,7 @@ CherivokeAllocator::prepareSweep(unsigned paint_shards)
     // legitimately hold the base of a live one-past-the-end
     // capability of the previous allocation.
     if (paint_shards == 1) {
-        for (const QuarantineRun &run : frozen_.runs()) {
+        for (const QuarantineRun &run : frozen_.orderedRuns()) {
             stats += shadow_.paint(run.addr + kChunkHeader,
                                    run.size - kChunkHeader);
         }
@@ -164,7 +167,9 @@ CherivokeAllocator::prepareSweep(unsigned paint_shards)
 uint64_t
 CherivokeAllocator::finishSweep()
 {
-    for (const QuarantineRun &run : frozen_.runs()) {
+    // Same cached materialisation prepareSweep sorted: the frozen
+    // set takes no adds while its epoch is open.
+    for (const QuarantineRun &run : frozen_.orderedRuns()) {
         shadow_.clear(run.addr + kChunkHeader,
                       run.size - kChunkHeader);
     }

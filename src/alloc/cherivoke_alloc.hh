@@ -146,6 +146,8 @@ class CherivokeAllocator
     CherivokeConfig config_;
     mem::TaggedMemory *mem_;
     uint64_t sweeps_ = 0;
+    /** Cached counter (in dl_'s group): runs merged per free. */
+    stats::Counter *c_quarantine_merges_ = nullptr;
 };
 
 } // namespace alloc

@@ -17,6 +17,15 @@
  *
  * and write their size into the *next* chunk's prev_size field (the
  * boundary tag enabling constant-time coalescing).
+ *
+ * Access goes through a mem::HostSpan cached at construction: the
+ * page containing the chunk header is resolved once and every field
+ * is then a plain host load/store (with the granule-tag invalidation
+ * a data write implies). Fields that land outside the cached page —
+ * links of a chunk whose header sits at the very end of a page, or
+ * the boundary-tag footer in the *next* chunk — fall back to
+ * TaggedMemory's raw out-of-span accessors. Both paths are O(1); the
+ * span path additionally skips the per-field page lookup.
  */
 
 #ifndef CHERIVOKE_ALLOC_CHUNK_HH
@@ -25,6 +34,7 @@
 #include <cstdint>
 
 #include "mem/tagged_memory.hh"
+#include "stats/counters.hh"
 #include "support/bitops.hh"
 
 namespace cherivoke {
@@ -44,24 +54,37 @@ constexpr uint64_t kChunkHeader = 16;
 /** Smallest legal chunk: header + room for fd/bk links. */
 constexpr uint64_t kMinChunk = 32;
 
+/**
+ * Pre-resolved counters for the chunk-access fast path (cached
+ * stats::Counter references — no string lookup per field access).
+ * Optional: views constructed without one count nothing.
+ */
+struct ChunkAccessCounters
+{
+    stats::Counter *rawAccesses = nullptr;  //!< through the span
+    stats::Counter *slowAccesses = nullptr; //!< out-of-span fallback
+};
+
 /** Reads and writes chunk metadata through the simulated memory. */
 class ChunkView
 {
   public:
-    ChunkView(mem::TaggedMemory &memory, uint64_t addr)
-        : mem_(&memory), addr_(addr)
+    ChunkView(mem::TaggedMemory &memory, uint64_t addr,
+              ChunkAccessCounters *counters = nullptr)
+        : mem_(&memory), span_(memory.hostSpan(addr)), addr_(addr),
+          counters_(counters)
     {}
 
     uint64_t addr() const { return addr_; }
     uint64_t payload() const { return addr_ + kChunkHeader; }
 
-    uint64_t sizeWord() const { return mem_->readU64(addr_ + 8); }
+    uint64_t sizeWord() const { return read(addr_ + 8); }
     uint64_t size() const { return sizeWord() & ~kFlagMask; }
     bool cinuse() const { return sizeWord() & kCinuse; }
     bool pinuse() const { return sizeWord() & kPinuse; }
     bool quarantined() const { return sizeWord() & kQuarantine; }
 
-    uint64_t prevSize() const { return mem_->readU64(addr_); }
+    uint64_t prevSize() const { return read(addr_); }
 
     /** Address of the chunk after this one. */
     uint64_t next() const { return addr_ + size(); }
@@ -71,33 +94,62 @@ class ChunkView
     void
     setHeader(uint64_t size, uint64_t flags)
     {
-        mem_->writeU64(addr_ + 8, size | flags);
+        write(addr_ + 8, size | flags);
     }
 
     void
     setFlags(uint64_t flags)
     {
-        mem_->writeU64(addr_ + 8, size() | flags);
+        write(addr_ + 8, size() | flags);
     }
 
-    void setPrevSize(uint64_t s) { mem_->writeU64(addr_, s); }
+    void setPrevSize(uint64_t s) { write(addr_, s); }
 
     /** Free-list links, stored in the (dead) payload. */
-    uint64_t fd() const { return mem_->readU64(addr_ + 16); }
-    uint64_t bk() const { return mem_->readU64(addr_ + 24); }
-    void setFd(uint64_t a) { mem_->writeU64(addr_ + 16, a); }
-    void setBk(uint64_t a) { mem_->writeU64(addr_ + 24, a); }
+    uint64_t fd() const { return read(addr_ + 16); }
+    uint64_t bk() const { return read(addr_ + 24); }
+    void setFd(uint64_t a) { write(addr_ + 16, a); }
+    void setBk(uint64_t a) { write(addr_ + 24, a); }
 
     /** Write this free chunk's boundary tag into the next chunk. */
     void
     writeFooter()
     {
-        mem_->writeU64(next(), size());
+        write(next(), size());
     }
 
   private:
+    uint64_t
+    read(uint64_t a) const
+    {
+        if (span_.covers(a, 8)) {
+            if (counters_)
+                counters_->rawAccesses->increment();
+            return span_.readU64(a);
+        }
+        if (counters_)
+            counters_->slowAccesses->increment();
+        return mem_->spanReadU64(a);
+    }
+
+    void
+    write(uint64_t a, uint64_t v)
+    {
+        if (span_.covers(a, 8)) {
+            if (counters_)
+                counters_->rawAccesses->increment();
+            span_.writeU64(a, v);
+            return;
+        }
+        if (counters_)
+            counters_->slowAccesses->increment();
+        mem_->spanWriteU64(a, v);
+    }
+
     mem::TaggedMemory *mem_;
+    mem::HostSpan span_;
     uint64_t addr_;
+    ChunkAccessCounters *counters_;
 };
 
 } // namespace alloc

@@ -14,6 +14,15 @@ DlAllocator::DlAllocator(mem::AddressSpace &space, DlConfig config)
     : space_(&space), mem_(&space.memory()), config_(config),
       bins_(kNumBins, 0)
 {
+    // Resolve the hot-path counters once; the fast paths bump them
+    // through these references instead of a string lookup per op.
+    chunk_counters_.rawAccesses =
+        &counters_.counter("alloc.header_raw_accesses");
+    chunk_counters_.slowAccesses =
+        &counters_.counter("alloc.header_slow_accesses");
+    c_bin_scan_steps_ = &counters_.counter("alloc.bin_scan_steps");
+    c_bin_searches_ = &counters_.counter("alloc.bin_searches");
+
     const uint64_t size = alignUp(config_.initialHeapBytes, kPageBytes);
     heap_base_ = space_->mmapHeap(size);
     heap_end_ = heap_base_ + size;
@@ -53,6 +62,7 @@ DlAllocator::insertFreeChunk(uint64_t addr, uint64_t size)
     if (head)
         view(head).setBk(addr);
     bins_[idx] = addr;
+    markBinOccupied(idx);
 }
 
 void
@@ -64,7 +74,10 @@ DlAllocator::unlinkChunk(uint64_t addr)
     if (bk) {
         view(bk).setFd(fd);
     } else {
-        bins_[binIndexFor(c.size())] = fd;
+        const unsigned idx = binIndexFor(c.size());
+        bins_[idx] = fd;
+        if (!fd)
+            markBinEmpty(idx);
     }
     if (fd)
         view(fd).setBk(bk);
@@ -104,11 +117,27 @@ DlAllocator::allocFromTop(uint64_t chunk_size)
 uint64_t
 DlAllocator::takeFromBins(uint64_t chunk_size)
 {
-    for (unsigned idx = binIndexFor(chunk_size); idx < kNumBins;
-         ++idx) {
+    c_bin_searches_->increment();
+    // The occupancy bitmap jumps straight to candidate bins; empty
+    // bins cost nothing. Small bins are exact-fit (one size per
+    // bin), so their head always satisfies the request; only large
+    // bins, which mix sizes, still walk their (first-fit) list — the
+    // identical chunk selection the linear scan made.
+    const unsigned start = binIndexFor(chunk_size);
+    for (unsigned idx = firstOccupiedBin(start); idx < kNumBins;
+         idx = firstOccupiedBin(idx + 1)) {
+        if (idx < kSmallBins) {
+            // Exact-size bin at or above the request: its head fits
+            // by construction.
+            const uint64_t addr = bins_[idx];
+            c_bin_scan_steps_->increment();
+            unlinkChunk(addr);
+            return addr;
+        }
         uint64_t addr = bins_[idx];
         while (addr) {
             ChunkView c = view(addr);
+            c_bin_scan_steps_->increment();
             if (c.size() >= chunk_size) {
                 unlinkChunk(addr);
                 return addr;
@@ -426,14 +455,14 @@ DlAllocator::walkHeap() const
     std::vector<WalkChunk> chunks;
     uint64_t addr = heap_base_;
     while (addr < top_) {
-        ChunkView c = view(addr);
+        ChunkView c = viewUncounted(addr);
         chunks.push_back(WalkChunk{addr, c.size(), c.cinuse(),
                                    c.quarantined(), false});
         CHERIVOKE_ASSERT(c.size() >= kMinChunk,
                          "(walk found undersized chunk)");
         addr += c.size();
     }
-    ChunkView t = view(top_);
+    ChunkView t = viewUncounted(top_);
     chunks.push_back(WalkChunk{top_, t.size(), false, false, true});
     return chunks;
 }
@@ -445,7 +474,7 @@ DlAllocator::validateHeap() const
     bool prev_inuse = true; // nothing before the first chunk
     uint64_t prev_size = 0;
     while (addr <= top_) {
-        ChunkView c = view(addr);
+        ChunkView c = viewUncounted(addr);
         const bool is_top = addr == top_;
         CHERIVOKE_ASSERT(isAligned(addr, kGranuleBytes));
         CHERIVOKE_ASSERT(c.size() >= (is_top ? 0u : kMinChunk),
@@ -475,16 +504,27 @@ DlAllocator::validateHeap() const
         addr += c.size();
     }
 
-    // Bin link integrity.
+    // Bin link integrity + occupancy-bitmap consistency + the raw
+    // span write contract (free-list links are written through the
+    // host span, so their granules must carry no capability tag).
     for (unsigned idx = 0; idx < kNumBins; ++idx) {
+        const bool bit =
+            (bin_map_[idx >> 6] >> (idx & 63)) & 1;
+        CHERIVOKE_ASSERT(bit == (bins_[idx] != 0),
+                         "(bin bitmap out of sync with bin head)");
         uint64_t prev = 0;
         uint64_t cur = bins_[idx];
         while (cur) {
-            ChunkView c = view(cur);
+            ChunkView c = viewUncounted(cur);
             CHERIVOKE_ASSERT(!c.cinuse(), "(in-use chunk in bin)");
             CHERIVOKE_ASSERT(c.bk() == prev, "(bin bk corrupt)");
             CHERIVOKE_ASSERT(binIndexFor(c.size()) == idx,
                              "(chunk in wrong bin)");
+            CHERIVOKE_ASSERT(idx >= kSmallBins ||
+                                 c.size() ==
+                                     kMinChunk + uint64_t{idx} * 16,
+                             "(small bin must be exact-fit)");
+            mem_->assertSpanSemantics(cur, kMinChunk);
             prev = cur;
             cur = c.fd();
         }

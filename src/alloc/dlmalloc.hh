@@ -20,6 +20,7 @@
 #ifndef CHERIVOKE_ALLOC_DLMALLOC_HH
 #define CHERIVOKE_ALLOC_DLMALLOC_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -135,8 +136,14 @@ class DlAllocator
     /** Every chunk from heap base through the top chunk, in order. */
     std::vector<WalkChunk> walkHeap() const;
 
-    /** Assert every boundary-tag invariant; throws PanicError. */
+    /** Assert every boundary-tag invariant (including bin-bitmap /
+     *  bin-list consistency and raw-span tag invalidation); throws
+     *  PanicError. */
     void validateHeap() const;
+
+    /** Bin-occupancy bitmap word (for tests); bit i of word w set
+     *  iff bins_[w * 64 + i] is non-empty. */
+    uint64_t binBitmapWord(unsigned w) const { return bin_map_[w]; }
 
     /** Sum of live (allocated, non-quarantined) payload bytes. */
     uint64_t liveBytes() const { return live_bytes_; }
@@ -159,12 +166,50 @@ class DlAllocator
     static constexpr uint64_t kMaxSmallChunk =
         kMinChunk + (kSmallBins - 1) * 16;
 
+    /** Words in the bin-occupancy bitmap (96 bins -> 2 words). */
+    static constexpr unsigned kBinMapWords = (kNumBins + 63) / 64;
+
     ChunkView view(uint64_t addr) const
+    {
+        return ChunkView(*mem_, addr, &chunk_counters_);
+    }
+
+    /** Uncounted view for inspection paths (walkHeap/validateHeap):
+     *  keeps the alloc.header_* counters a pure mutator-path
+     *  metric, unskewed by how often validation runs. */
+    ChunkView viewUncounted(uint64_t addr) const
     {
         return ChunkView(*mem_, addr);
     }
 
     static unsigned binIndexFor(uint64_t chunk_size);
+
+    /** First non-empty bin >= @p from, or kNumBins; countr_zero over
+     *  the occupancy bitmap — no per-bin scanning. */
+    unsigned
+    firstOccupiedBin(unsigned from) const
+    {
+        for (unsigned w = from >> 6; w < kBinMapWords; ++w) {
+            uint64_t word = bin_map_[w];
+            if (w == from >> 6)
+                word &= ~uint64_t{0} << (from & 63);
+            if (word)
+                return w * 64 + std::countr_zero(word);
+        }
+        return kNumBins;
+    }
+
+    void
+    markBinOccupied(unsigned idx)
+    {
+        bin_map_[idx >> 6] |= uint64_t{1} << (idx & 63);
+    }
+
+    void
+    markBinEmpty(unsigned idx)
+    {
+        bin_map_[idx >> 6] &= ~(uint64_t{1} << (idx & 63));
+    }
 
     void insertFreeChunk(uint64_t addr, uint64_t size);
     void unlinkChunk(uint64_t addr);
@@ -198,10 +243,21 @@ class DlAllocator
 
     /** Bin heads: chunk addresses, 0 = empty. */
     std::vector<uint64_t> bins_;
+    /** Occupancy bitmap over bins_: bit set iff the bin is
+     *  non-empty, so takeFromBins finds the first candidate bin with
+     *  countr_zero instead of scanning 96 heads. */
+    std::array<uint64_t, kBinMapWords> bin_map_{};
 
     uint64_t live_bytes_ = 0;
     uint64_t quarantined_bytes_ = 0;
     stats::CounterGroup counters_;
+
+    /** @name Cached counter references (no string lookup per op) */
+    /// @{
+    mutable ChunkAccessCounters chunk_counters_;
+    stats::Counter *c_bin_scan_steps_ = nullptr;
+    stats::Counter *c_bin_searches_ = nullptr;
+    /// @}
 };
 
 } // namespace alloc

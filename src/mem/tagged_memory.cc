@@ -445,6 +445,26 @@ TaggedMemory::pageTagCount(uint64_t addr) const
 }
 
 void
+TaggedMemory::assertSpanSemantics(uint64_t addr, uint64_t size) const
+{
+    // Raw and checked reads must observe the same storage.
+    for (uint64_t a = alignDown(addr, 8); a < addr + size; a += 8) {
+        uint64_t checked = 0;
+        peekBytes(a, &checked, 8);
+        CHERIVOKE_ASSERT(spanReadU64(a) == checked,
+                         "(raw span read diverged from checked read)");
+    }
+    // The caller vouches the range was last written through the raw
+    // span path; those stores must have invalidated every tag.
+    const uint64_t g_last = (addr + size - 1) >> kGranuleShift;
+    for (uint64_t g = addr >> kGranuleShift; g <= g_last; ++g) {
+        CHERIVOKE_ASSERT(!readTag(g << kGranuleShift),
+                         "(raw span store left a capability tag "
+                         "alive)");
+    }
+}
+
+void
 TaggedMemory::shadowFill(uint64_t addr, uint8_t byte, uint64_t size)
 {
     uint64_t remaining = size;

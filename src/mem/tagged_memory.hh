@@ -20,6 +20,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -28,6 +29,8 @@
 #include "cap/capability.hh"
 #include "mem/page_table.hh"
 #include "stats/counters.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
 #include "support/units.hh"
 
 namespace cherivoke {
@@ -48,6 +51,75 @@ struct Page
     }
     void setGranuleTag(unsigned g);
     void clearGranuleTag(unsigned g);
+};
+
+/**
+ * A raw host window onto one simulated page's backing store: the
+ * mutator-side analogue of the sweeper's cached region pages. The
+ * allocator's chunk metadata (boundary tags, bin links) clusters on
+ * one or two pages per chunk, so alloc::ChunkView resolves the page
+ * once and then reads/writes fields through plain host loads and
+ * stores instead of paying a page lookup, a page-table walk and a
+ * string-keyed counter bump per field.
+ *
+ * The span is part of the trusted computing base: accesses skip
+ * page-table protection checks (the allocator only touches its own
+ * heap metadata) but MUST preserve tagged-memory semantics — every
+ * write invalidates the granule tag it overwrites, exactly as
+ * TaggedMemory::writeBytes would. writeU64 enforces that here;
+ * TaggedMemory::assertSpanSemantics() cross-checks a span against
+ * the checked path in tests.
+ *
+ * A span stays valid for the lifetime of the owning TaggedMemory
+ * (pages are never deallocated while the directory lives).
+ */
+class HostSpan
+{
+  public:
+    HostSpan() = default;
+    HostSpan(Page *page, uint64_t page_base)
+        : page_(page), base_(page_base)
+    {}
+
+    /** Is [addr, addr+size) inside this span's page? */
+    bool
+    covers(uint64_t addr, uint64_t size) const
+    {
+        return page_ && addr - base_ <= kPageBytes - size;
+    }
+
+    /** Raw 8-byte load; caller guarantees covers(addr, 8). */
+    uint64_t
+    readU64(uint64_t addr) const
+    {
+        uint64_t value;
+        std::memcpy(&value, page_->data.data() + (addr - base_), 8);
+        return value;
+    }
+
+    /**
+     * Raw 8-byte store with data-write tag semantics: the covered
+     * granule's capability tag is invalidated (an untagged overwrite
+     * of a capability word must kill it, §2.2). Caller guarantees
+     * covers(addr, 8); the store must not straddle a granule.
+     */
+    void
+    writeU64(uint64_t addr, uint64_t value)
+    {
+        CHERIVOKE_ASSERT(isAligned(addr, 8),
+                         "(raw span store must be 8-byte aligned)");
+        const uint64_t off = addr - base_;
+        std::memcpy(page_->data.data() + off, &value, 8);
+        page_->clearGranuleTag(
+            static_cast<unsigned>(off >> kGranuleShift));
+    }
+
+    uint64_t pageBase() const { return base_; }
+    explicit operator bool() const { return page_ != nullptr; }
+
+  private:
+    Page *page_ = nullptr;
+    uint64_t base_ = 0;
 };
 
 /**
@@ -158,6 +230,54 @@ class TaggedMemory
     uint64_t readU64(uint64_t addr) const;
     /** memset-style fill; clears covered tags like any data write. */
     void fill(uint64_t addr, uint8_t byte, uint64_t size);
+    /// @}
+
+    /** @name Raw host-span (TCB metadata) path */
+    /// @{
+
+    /**
+     * Host window onto the page containing @p addr, materialising it
+     * if needed — the allocator hot path's per-chunk page resolution.
+     * O(1): two acquire loads when the page exists.
+     */
+    HostSpan
+    hostSpan(uint64_t addr)
+    {
+        const uint64_t base = addr & ~(kPageBytes - 1);
+        return HostSpan(&dir_.getOrCreate(addr >> kPageShift), base);
+    }
+
+    /**
+     * Raw counter-free u64 load for allocator metadata that falls
+     * outside a cached span (e.g.\ a boundary-tag footer on the next
+     * page). Never materialises: untouched pages read as zero.
+     */
+    uint64_t
+    spanReadU64(uint64_t addr) const
+    {
+        const Page *page = pageIfPresent(addr);
+        if (!page)
+            return 0;
+        uint64_t value;
+        std::memcpy(&value,
+                    page->data.data() + (addr & (kPageBytes - 1)), 8);
+        return value;
+    }
+
+    /** Raw counter-free u64 store with HostSpan::writeU64's
+     *  tag-invalidation semantics, for out-of-span metadata. */
+    void
+    spanWriteU64(uint64_t addr, uint64_t value)
+    {
+        hostSpan(addr).writeU64(addr, value);
+    }
+
+    /**
+     * Test hook: panic unless the raw span path and the checked path
+     * agree about [addr, addr+size) — same bytes, and no surviving
+     * capability tag on any granule a raw store overwrote.
+     */
+    void assertSpanSemantics(uint64_t addr, uint64_t size) const;
     /// @}
 
     /** @name Raw shadow-store path (thread-safe) */

@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "revoke/analytical_model.hh"
@@ -264,8 +265,18 @@ runMultiTenantBenchmark(const workload::BenchmarkProfile &profile,
         hierarchy = std::make_unique<cache::Hierarchy>(
             machine.hierarchyConfig());
     }
+    const auto wall0 = std::chrono::steady_clock::now();
     result.run = manager.run(hierarchy.get());
+    result.mutatorWallSec =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
     const tenant::MultiTenantResult &run = result.run;
+    if (result.mutatorWallSec > 0) {
+        result.mutatorOpsPerSec =
+            static_cast<double>(run.totalOps) /
+            result.mutatorWallSec;
+    }
     const double vt = std::max(run.virtualSeconds, 1e-9);
 
     // Aggregate model, exactly as the single-process path: shadow

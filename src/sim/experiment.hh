@@ -131,6 +131,15 @@ struct MultiTenantBenchResult
 
     /** Per-tenant sweep overhead (same model on domain totals). */
     std::vector<double> tenantSweepOverhead;
+
+    /** @name Simulator mutator throughput (wall clock, not model) */
+    /// @{
+    /** Wall seconds the interleaved trace replay itself took. */
+    double mutatorWallSec = 0;
+    /** Trace ops the replay retired per wall second — the
+     *  mutator-side hot-path figure bench/alloc_hotpath tracks. */
+    double mutatorOpsPerSec = 0;
+    /// @}
 };
 
 /**

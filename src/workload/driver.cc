@@ -1,7 +1,6 @@
 #include "workload/driver.hh"
 
 #include <algorithm>
-#include <map>
 
 #include "support/logging.hh"
 
@@ -52,6 +51,9 @@ TraceReplayer::TraceReplayer(mem::AddressSpace &space,
     : space_(&space), alloc_(&allocator), engine_(engine),
       trace_(&trace)
 {
+    // Size the live-object table for the trace's churn up front so
+    // the mutator loop never pays a rehash.
+    objects_.reserve(trace.ops.size() / 4 + 16);
     pump_ = [this](cache::Hierarchy *hierarchy) {
         engine_->maybeRevoke(hierarchy);
     };
