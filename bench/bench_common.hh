@@ -46,6 +46,11 @@ printSystems(const char *title)
  *   CHERIVOKE_TENANT_SCOPE   = per-tenant | global
  *   CHERIVOKE_TENANT_HEAP_MIB= per-tenant live-heap target override
  *   CHERIVOKE_TENANT_WEIGHTS = scheduling shares, e.g. "2,1,1"
+ *   CHERIVOKE_TENANT_POLICIES= per-tenant revocation policies, one
+ *                              per tenant, e.g. "concurrent,stw"
+ *                              (mixed policies share one engine)
+ *   CHERIVOKE_TENANT_CHURN   = mid-run spawn->retire cycles of
+ *                              short-lived extra tenants (default 0)
  *
  * Parsing is strict (support/env.hh): a set-but-malformed value such
  * as CHERIVOKE_THREADS=abc fails the run with a clear error instead
@@ -83,6 +88,32 @@ defaultConfig()
         cfg.tenantWeights.size() != cfg.tenants)
         fatal("CHERIVOKE_TENANT_WEIGHTS: %zu weights for %u tenants",
               cfg.tenantWeights.size(), cfg.tenants);
+    if (const char *policies =
+            std::getenv("CHERIVOKE_TENANT_POLICIES")) {
+        std::string text(policies);
+        size_t pos = 0;
+        while (pos <= text.size()) {
+            const size_t comma = text.find(',', pos);
+            const std::string item = text.substr(
+                pos, comma == std::string::npos ? std::string::npos
+                                                : comma - pos);
+            revoke::PolicyKind kind;
+            if (!revoke::parsePolicy(item, kind))
+                fatal("CHERIVOKE_TENANT_POLICIES: unknown policy "
+                      "'%s'",
+                      item.c_str());
+            cfg.tenantPolicies.push_back(kind);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        if (cfg.tenantPolicies.size() != cfg.tenants)
+            fatal("CHERIVOKE_TENANT_POLICIES: %zu policies for %u "
+                  "tenants",
+                  cfg.tenantPolicies.size(), cfg.tenants);
+    }
+    cfg.tenantChurn = static_cast<unsigned>(
+        envI64("CHERIVOKE_TENANT_CHURN", cfg.tenantChurn, 0));
     return cfg;
 }
 

@@ -84,6 +84,48 @@ PageDirectory::getOrCreate(uint64_t vpn)
     return *page;
 }
 
+size_t
+PageDirectory::releaseRange(uint64_t vpn_lo, uint64_t vpn_hi)
+{
+    vpn_hi = std::min(vpn_hi, kMaxVpn);
+    size_t released = 0;
+    uint64_t vpn = vpn_lo;
+    while (vpn < vpn_hi) {
+        Leaf *leaf =
+            root_[vpn >> kLeafBits].load(std::memory_order_acquire);
+        // Whole-leaf skip: an unmaterialised leaf spans 1 GiB.
+        const uint64_t leaf_end =
+            ((vpn >> kLeafBits) + 1) << kLeafBits;
+        const uint64_t end = std::min<uint64_t>(vpn_hi, leaf_end);
+        if (!leaf) {
+            vpn = end;
+            continue;
+        }
+        for (; vpn < end; ++vpn) {
+            std::atomic<Page *> &slot =
+                leaf->slots[vpn & (kLeafEntries - 1)];
+            Page *page = slot.load(std::memory_order_acquire);
+            if (!page)
+                continue;
+            slot.store(nullptr, std::memory_order_release);
+            delete page;
+            ++released;
+        }
+    }
+    resident_.fetch_sub(released, std::memory_order_relaxed);
+    return released;
+}
+
+size_t
+TaggedMemory::releaseRange(uint64_t base, uint64_t size)
+{
+    CHERIVOKE_ASSERT(isAligned(base, kPageBytes) &&
+                     isAligned(size, kPageBytes),
+                     "(releaseRange must be page aligned)");
+    return dir_.releaseRange(base >> kPageShift,
+                             (base + size) >> kPageShift);
+}
+
 Page &
 TaggedMemory::pageForWrite(uint64_t addr)
 {

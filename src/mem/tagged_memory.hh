@@ -178,6 +178,18 @@ class PageDirectory
      *  the page already exists. Thread-safe. */
     Page &getOrCreate(uint64_t vpn);
 
+    /**
+     * Deallocate every resident page in [vpn_lo, vpn_hi) — the one
+     * exception to "pages are never deallocated": tenant teardown.
+     * The caller must guarantee quiescence over the range (no sweep
+     * in flight, no cached HostSpan/Page pointers into it — i.e. the
+     * owning allocator is gone and no revocation epoch is open).
+     * A page that comes back via getOrCreate() is a fresh zero page,
+     * indistinguishable from one never touched.
+     * @return pages released
+     */
+    size_t releaseRange(uint64_t vpn_lo, uint64_t vpn_hi);
+
     /** Pages materialised so far. */
     size_t
     resident() const
@@ -400,6 +412,20 @@ class TaggedMemory
         return dir_.lookup(addr >> kPageShift);
     }
     /// @}
+
+    /**
+     * Tenant-teardown bulk release: deallocate the backing pages of
+     * [base, base+size) (page-aligned), wiping the range's data,
+     * tags and residency in one pass, so a later occupant observes
+     * exactly what a never-touched range shows — zero data, zero
+     * tags, not resident. Note: the range's *shadow bytes* live at
+     * shadowAddrOf(base), outside the range; a teardown that must
+     * also clear them issues a second releaseRange over the shadow
+     * window (see tenant::TenantManager's slot teardown). Requires
+     * the same quiescence as PageDirectory::releaseRange.
+     * @return pages released
+     */
+    size_t releaseRange(uint64_t base, uint64_t size);
 
     /** Pages that have been materialised (touched by a write). */
     size_t residentPages() const { return dir_.resident(); }

@@ -152,7 +152,8 @@ RevocationEngine::RevocationEngine(
 {
     CHERIVOKE_ASSERT(config_.pagesPerSlice > 0);
     CHERIVOKE_ASSERT(config_.paintShards > 0);
-    domains_.push_back(Domain{&allocator, &space, EngineTotals{}});
+    domains_.push_back(Domain{&allocator, &space, EngineTotals{},
+                              nullptr, false});
 }
 
 RevocationEngine::RevocationEngine(
@@ -174,14 +175,91 @@ size_t
 RevocationEngine::addDomain(alloc::CherivokeAllocator &allocator,
                             mem::AddressSpace &space)
 {
-    domains_.push_back(Domain{&allocator, &space, EngineTotals{}});
-    return domains_.size() - 1;
+    return bindDomain(domains_.size(), allocator, space);
+}
+
+size_t
+RevocationEngine::bindDomain(size_t index,
+                             alloc::CherivokeAllocator &allocator,
+                             mem::AddressSpace &space)
+{
+    CHERIVOKE_ASSERT(index <= domains_.size(),
+                     "(bindDomain beyond the next fresh slot)");
+    if (index == domains_.size()) {
+        domains_.push_back(Domain{&allocator, &space, EngineTotals{},
+                                  nullptr, false});
+    } else {
+        Domain &dom = domains_[index];
+        CHERIVOKE_ASSERT(dom.retired,
+                         "(bindDomain over a live domain)");
+        CHERIVOKE_ASSERT(!open_ || epoch_domain_ != index,
+                         "(rebinding the open epoch's domain)");
+        dom = Domain{&allocator, &space, EngineTotals{}, nullptr,
+                     false};
+    }
+    return index;
+}
+
+void
+RevocationEngine::setDomainPolicy(size_t index, PolicyKind kind)
+{
+    CHERIVOKE_ASSERT(index < domains_.size() &&
+                     !domains_[index].retired);
+    CHERIVOKE_ASSERT(!open_ || epoch_domain_ != index,
+                     "(policy change under an open epoch)");
+    domains_[index].policy =
+        kind == config_.policy ? nullptr : makePolicy(kind);
+}
+
+RevocationPolicy &
+RevocationEngine::domainPolicy(size_t index)
+{
+    CHERIVOKE_ASSERT(index < domains_.size());
+    Domain &dom = domains_[index];
+    return dom.policy ? *dom.policy : *policy_;
+}
+
+void
+RevocationEngine::drainDomain(size_t index, cache::Hierarchy *hierarchy)
+{
+    CHERIVOKE_ASSERT(index < domains_.size());
+    if (open_ && epoch_domain_ == index)
+        drain(hierarchy);
+}
+
+void
+RevocationEngine::retireDomain(size_t index,
+                               cache::Hierarchy *hierarchy)
+{
+    CHERIVOKE_ASSERT(index < domains_.size());
+    Domain &dom = domains_[index];
+    CHERIVOKE_ASSERT(!dom.retired, "(retireDomain twice)");
+    drainDomain(index, hierarchy);
+    dom.retired = true;
+    dom.allocator = nullptr;
+    dom.space = nullptr;
+    dom.policy.reset();
+    CHERIVOKE_ASSERT(active_ != index || allRetired(),
+                     "(retiring the active domain with others "
+                     "still live: selectDomain elsewhere first)");
+}
+
+bool
+RevocationEngine::allRetired() const
+{
+    for (const Domain &dom : domains_) {
+        if (!dom.retired)
+            return false;
+    }
+    return true;
 }
 
 void
 RevocationEngine::selectDomain(size_t index)
 {
     CHERIVOKE_ASSERT(index < domains_.size());
+    CHERIVOKE_ASSERT(!domains_[index].retired,
+                     "(selectDomain on a retired domain)");
     active_ = index;
 }
 
@@ -201,15 +279,24 @@ RevocationEngine::quarantinePressure() const
 bool
 RevocationEngine::maybeRevoke(cache::Hierarchy *hierarchy)
 {
-    return policy_->pump(*this, hierarchy);
+    // Epoch-owner-wins arbitration: while an epoch is open, every
+    // pump advances it under the owning domain's policy — so a
+    // stop-the-world neighbour's allocator ops assist a concurrent
+    // tenant's in-flight sweep instead of stacking a second epoch.
+    const size_t domain = open_ ? epoch_domain_ : active_;
+    return domainPolicy(domain).pump(*this, hierarchy);
 }
 
 EpochStats
 RevocationEngine::revokeNow(cache::Hierarchy *hierarchy)
 {
+    // A forced pause (global-scope sweep, §3.7 strict mode) first
+    // completes whatever per-tenant epoch is in flight — credited to
+    // its own domain — then runs the requesting domain's epoch under
+    // the requesting domain's policy.
     if (open_)
         drain(hierarchy);
-    return policy_->runEpoch(*this, hierarchy);
+    return domainPolicy(active_).runEpoch(*this, hierarchy);
 }
 
 EpochStats
@@ -247,7 +334,7 @@ RevocationEngine::beginEpoch()
     // views when configured).
     epoch_.paint = dom.allocator->prepareSweep(config_.paintShards);
 
-    if (policy_->needsLoadBarrier()) {
+    if (domainPolicy(epoch_domain_).needsLoadBarrier()) {
         // The barrier: loads of painted-base capabilities are
         // stripped. The shadow map is read-only for the duration of
         // the epoch (later frees wait for the next epoch), so the

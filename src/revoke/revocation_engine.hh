@@ -30,6 +30,21 @@
  * sweep interference the multi-tenant experiments measure). Statistics
  * accumulate both engine-wide (totals()) and per domain
  * (domainTotals()).
+ *
+ * Domains are *heterogeneous*: each can carry its own policy
+ * (setDomainPolicy), so one tenant runs concurrent revocation while
+ * a neighbour stops the world on the same engine. Arbitration is
+ * epoch-owner-wins: at most one epoch is open engine-wide, and while
+ * it is open every pump — whichever domain issued it — advances it
+ * under the *owning* domain's policy (cross-tenant assist); a
+ * stop-the-world trigger elsewhere waits its turn, and an explicit
+ * revokeNow() (the global-scope pause) first drains the in-flight
+ * epoch to its owner, then runs the requesting domain's own epoch.
+ *
+ * Domains also *retire* (tenant teardown): retireDomain() drains the
+ * open epoch if — and only if — this domain owns it, then removes
+ * the domain from service; bindDomain() later reuses the slot for a
+ * new tenant with fresh statistics.
  */
 
 #ifndef CHERIVOKE_REVOKE_REVOCATION_ENGINE_HH
@@ -161,20 +176,66 @@ class RevocationEngine
     /**
      * Register another (allocator, space) pair — a tenant — with
      * this engine; the constructor's pair is domain 0. Both objects
-     * must outlive the engine. @return the new domain's index
+     * must outlive the engine (or be retired first). @return the new
+     * domain's index
      */
     size_t addDomain(alloc::CherivokeAllocator &allocator,
                      mem::AddressSpace &space);
 
     /**
+     * Bind (or re-bind) domain slot @p index to a tenant: @p index
+     * must be the next fresh slot (== domainCount()) or a retired
+     * slot, whose statistics restart from zero — the engine-side
+     * half of tenant-slot reuse. @return @p index
+     */
+    size_t bindDomain(size_t index,
+                      alloc::CherivokeAllocator &allocator,
+                      mem::AddressSpace &space);
+
+    /**
+     * Give domain @p index its own scheduling policy (overriding the
+     * engine-wide default from EngineConfig). Must not be changed
+     * while this domain's epoch is open.
+     */
+    void setDomainPolicy(size_t index, PolicyKind kind);
+
+    /**
+     * Take domain @p index out of service (tenant teardown): drains
+     * the open epoch iff this domain owns it, then marks the slot
+     * retired. The active domain must be moved elsewhere first when
+     * other domains remain. Statistics of the retired slot stay
+     * readable until bindDomain() reuses it.
+     */
+    void retireDomain(size_t index,
+                      cache::Hierarchy *hierarchy = nullptr);
+
+    /** Drain the open epoch iff domain @p index owns it. */
+    void drainDomain(size_t index,
+                     cache::Hierarchy *hierarchy = nullptr);
+
+    /**
      * Bind quarantine-pressure checks and the *next* beginEpoch() to
-     * domain @p index. Legal while an epoch is open: the open epoch
-     * stays bound to the domain it began on.
+     * domain @p index (must not be retired). Legal while an epoch is
+     * open: the open epoch stays bound to the domain it began on.
      */
     void selectDomain(size_t index);
 
     size_t activeDomain() const { return active_; }
     size_t domainCount() const { return domains_.size(); }
+    bool domainRetired(size_t index) const
+    {
+        return domains_.at(index).retired;
+    }
+
+    /** True when every domain has been retired. */
+    bool allRetired() const;
+
+    /** The domain owning the open epoch (active when none is open). */
+    size_t epochDomainIndex() const { return epoch_domain_; }
+
+    /** The policy governing domain @p index (its override, or the
+     *  engine-wide default). */
+    RevocationPolicy &domainPolicy(size_t index);
 
     /** Cumulative statistics of epochs begun on domain @p index. */
     const EngineTotals &domainTotals(size_t index) const;
@@ -266,6 +327,10 @@ class RevocationEngine
         alloc::CherivokeAllocator *allocator;
         mem::AddressSpace *space;
         EngineTotals totals;
+        /** Per-domain policy override; null → the engine default. */
+        std::unique_ptr<RevocationPolicy> policy;
+        /** Out of service (tenant retired); slot reusable. */
+        bool retired = false;
     };
 
     /** The active domain's allocator (pressure checks, new epochs). */

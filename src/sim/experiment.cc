@@ -200,6 +200,108 @@ runBenchmark(const workload::BenchmarkProfile &profile,
     return result;
 }
 
+TenantChurnPlan
+makeTenantChurnPlan(const workload::BenchmarkProfile &profile,
+                    const ExperimentConfig &config, size_t host_ops)
+{
+    TenantChurnPlan plan;
+    if (config.tenantChurn == 0)
+        return plan;
+
+    workload::BenchmarkProfile tenant_profile = profile;
+    if (config.tenantHeapMiB > 0)
+        tenant_profile.liveHeapMiB = config.tenantHeapMiB;
+
+    // Every cycle spawns the same definition shape: a short-lived
+    // tenant aggressive enough to revoke at least once in its
+    // lifetime, so reusing a stale slot would corrupt *measured*
+    // statistics, not just idle state.
+    plan.config.name = "churn";
+    plan.config.weight = 1.0;
+    plan.config.alloc = allocConfigFor(config);
+    plan.config.alloc.quarantineFraction =
+        std::min(config.quarantineFraction, 0.1);
+    plan.config.alloc.minQuarantineBytes = 16 * KiB;
+    plan.config.alloc.dl.initialHeapBytes = 256 * KiB;
+    plan.config.alloc.dl.growthChunkBytes = 128 * KiB;
+    plan.config.globalsBytes = config.globalsBytes;
+    plan.config.stackBytes = config.stackBytes;
+
+    workload::SynthConfig synth_cfg =
+        synthConfigFor(tenant_profile, config);
+    synth_cfg.seed = config.seed ^ 0x5bd1e995ULL;
+    synth_cfg.durationSec =
+        std::min(synth_cfg.durationSec, 0.25 * config.durationSec);
+    plan.trace = workload::synthesize(tenant_profile, synth_cfg);
+
+    if (host_ops == 0)
+        return plan; // definitions only; no schedule requested
+
+    // Cycles partition the host trace into equal windows, strictly
+    // in sequence so cycle k+1 reuses cycle k's freed slot. The
+    // churn trace is truncated far below the window's turn budget
+    // (the smooth scheduler gives a live tenant roughly one turn
+    // per host op) so every cycle replays to completion — that is
+    // what makes a reused-slot cycle comparable bit-for-bit with
+    // the fresh-slot one.
+    const size_t windows = 2 * (config.tenantChurn + 1);
+    const size_t gap = host_ops / windows;
+    if (gap == 0)
+        fatal("tenant churn %u needs a host trace of at least %zu "
+              "ops (got %zu)",
+              config.tenantChurn, windows, host_ops);
+    const size_t ops_cap = std::max<size_t>(gap / 8, 16);
+    if (plan.trace.ops.size() > ops_cap)
+        plan.trace.ops.resize(ops_cap);
+
+    plan.cycles.reserve(config.tenantChurn);
+    for (unsigned k = 0; k < config.tenantChurn; ++k) {
+        TenantChurnPlan::Cycle cycle;
+        cycle.id = kChurnTenantIdBase + k;
+        cycle.spawnAt = (2 * k + 1) * gap;
+        cycle.retireAt = (2 * k + 2) * gap;
+        plan.cycles.push_back(cycle);
+    }
+    return plan;
+}
+
+void
+injectChurnOps(workload::Trace &host, const TenantChurnPlan &plan)
+{
+    if (plan.cycles.empty())
+        return;
+    // Schedule entries in position order (cycles are sequential and
+    // non-overlapping by construction).
+    std::vector<std::pair<size_t, workload::TraceOp>> schedule;
+    schedule.reserve(plan.cycles.size() * 2);
+    for (const TenantChurnPlan::Cycle &cycle : plan.cycles) {
+        CHERIVOKE_ASSERT(cycle.spawnAt < cycle.retireAt);
+        workload::TraceOp spawn;
+        spawn.kind = workload::OpKind::SpawnTenant;
+        spawn.id = cycle.id;
+        workload::TraceOp retire;
+        retire.kind = workload::OpKind::RetireTenant;
+        retire.id = cycle.id;
+        schedule.emplace_back(cycle.spawnAt, spawn);
+        schedule.emplace_back(cycle.retireAt, retire);
+    }
+
+    std::vector<workload::TraceOp> merged;
+    merged.reserve(host.ops.size() + schedule.size());
+    size_t next_event = 0;
+    for (size_t i = 0; i < host.ops.size(); ++i) {
+        while (next_event < schedule.size() &&
+               schedule[next_event].first <= i) {
+            merged.push_back(schedule[next_event].second);
+            ++next_event;
+        }
+        merged.push_back(host.ops[i]);
+    }
+    for (; next_event < schedule.size(); ++next_event)
+        merged.push_back(schedule[next_event].second);
+    host.ops = std::move(merged);
+}
+
 std::vector<workload::Trace>
 synthesizeTenantTraces(const workload::BenchmarkProfile &profile,
                        const ExperimentConfig &config)
@@ -216,6 +318,11 @@ synthesizeTenantTraces(const workload::BenchmarkProfile &profile,
         traces.push_back(
             workload::synthesize(tenant_profile, synth_cfg));
     }
+    if (config.tenantChurn > 0) {
+        const TenantChurnPlan plan = makeTenantChurnPlan(
+            profile, config, traces[0].ops.size());
+        injectChurnOps(traces[0], plan);
+    }
     return traces;
 }
 
@@ -230,6 +337,10 @@ runMultiTenantBenchmark(const workload::BenchmarkProfile &profile,
         config.tenantWeights.size() != config.tenants)
         fatal("tenantWeights has %zu entries for %u tenants",
               config.tenantWeights.size(), config.tenants);
+    if (!config.tenantPolicies.empty() &&
+        config.tenantPolicies.size() != config.tenants)
+        fatal("tenantPolicies has %zu entries for %u tenants",
+              config.tenantPolicies.size(), config.tenants);
 
     MultiTenantBenchResult result;
     result.name = profile.name;
@@ -257,7 +368,30 @@ runMultiTenantBenchmark(const workload::BenchmarkProfile &profile,
         tcfg.alloc = allocConfigFor(config);
         tcfg.globalsBytes = config.globalsBytes;
         tcfg.stackBytes = config.stackBytes;
+        if (!config.tenantPolicies.empty())
+            tcfg.policy = config.tenantPolicies[i];
         manager.addTenant(tcfg, (*traces)[i]);
+    }
+
+    if (config.tenantChurn > 0) {
+        // The definitions the host trace's SpawnTenant ops resolve
+        // against: rebuild the same deterministic plan the traces
+        // were recorded with (the supplied trace 0 carries
+        // 2 * tenantChurn injected lifecycle ops on top of its
+        // synthesised op count).
+        const size_t injected = 2 * config.tenantChurn;
+        if ((*traces)[0].ops.size() < injected)
+            fatal("tenant 0's trace is too short to carry %u churn "
+                  "cycles",
+                  config.tenantChurn);
+        const TenantChurnPlan plan = makeTenantChurnPlan(
+            profile, config, (*traces)[0].ops.size() - injected);
+        for (unsigned k = 0; k < config.tenantChurn; ++k) {
+            tenant::TenantConfig ccfg = plan.config;
+            ccfg.name = "churn#" + std::to_string(k);
+            manager.defineTenant(kChurnTenantIdBase + k, ccfg,
+                                 plan.trace);
+        }
     }
 
     std::unique_ptr<cache::Hierarchy> hierarchy;

@@ -76,6 +76,16 @@ struct ExperimentConfig
     double tenantHeapMiB = 0;
     /** Scheduling weights, one per tenant; empty = all equal. */
     std::vector<double> tenantWeights;
+    /** Per-tenant revocation policies (CHERIVOKE_TENANT_POLICIES,
+     *  comma-separated); empty = every tenant runs `policy`. A
+     *  mixed list makes tenants heterogeneous on the one shared
+     *  engine (epoch-owner-wins arbitration). */
+    std::vector<revoke::PolicyKind> tenantPolicies;
+    /** Tenant-churn cycles (CHERIVOKE_TENANT_CHURN): when > 0,
+     *  tenant 0's trace gains that many deterministic
+     *  spawn→retire cycles of short-lived extra tenants, exercising
+     *  mid-run arrival/departure and slot reuse. */
+    unsigned tenantChurn = 0;
     /// @}
 };
 
@@ -142,13 +152,56 @@ struct MultiTenantBenchResult
     /// @}
 };
 
+/** Tenant-id base for experiment-generated churn tenants: far above
+ *  the static tenants' slot-number ids. */
+constexpr uint64_t kChurnTenantIdBase = 1000;
+
+/**
+ * The deterministic churn schedule config.tenantChurn implies: churn
+ * tenant k (id kChurnTenantIdBase + k) is spawned by an op inserted
+ * into tenant 0's trace and retired by a later one, cycles strictly
+ * in sequence so cycle k+1 reuses cycle k's freed slot. Every cycle
+ * replays the same short trace, so with per-tenant scope its
+ * statistics are a pure function of the trace — a reused slot must
+ * reproduce the fresh slot's results bit for bit.
+ */
+struct TenantChurnPlan
+{
+    /** One spawn→retire cycle, positioned by host-trace op index. */
+    struct Cycle
+    {
+        uint64_t id = 0;
+        size_t spawnAt = 0;  //!< op index in tenant 0's trace
+        size_t retireAt = 0; //!< must be > spawnAt
+    };
+
+    std::vector<Cycle> cycles;
+    tenant::TenantConfig config; //!< shared by every churn tenant
+    workload::Trace trace;       //!< shared by every churn tenant
+};
+
+/** Build the churn plan for @p config (empty when tenantChurn == 0).
+ *  @param host_ops op count of tenant 0's trace, which positions
+ *         the spawn/retire ops */
+TenantChurnPlan
+makeTenantChurnPlan(const workload::BenchmarkProfile &profile,
+                    const ExperimentConfig &config, size_t host_ops);
+
+/** Insert @p plan's SpawnTenant/RetireTenant ops into @p host
+ *  (tenant 0's trace) at their scheduled positions. */
+void injectChurnOps(workload::Trace &host,
+                    const TenantChurnPlan &plan);
+
 /**
  * The per-tenant op streams a multi-tenant run replays: one trace
  * per tenant, each synthesised with a distinct seed so tenants are
  * independent processes with the same statistical shape. Tenant 0
  * keeps the experiment seed, so a 1-tenant run replays runBenchmark's
- * exact trace. Exposed so benches can record traces once (through
- * tenant/trace_codec) and replay them deterministically.
+ * exact trace. With config.tenantChurn > 0, tenant 0's trace carries
+ * the churn plan's spawn/retire ops (so recording the traces through
+ * the binary codec captures the lifecycle schedule too). Exposed so
+ * benches can record traces once (through tenant/trace_codec) and
+ * replay them deterministically.
  */
 std::vector<workload::Trace>
 synthesizeTenantTraces(const workload::BenchmarkProfile &profile,

@@ -9,13 +9,41 @@ TenantScheduler::TenantScheduler(std::vector<double> weights)
 {
     CHERIVOKE_ASSERT(!weights.empty());
     entries_.reserve(weights.size());
-    for (double w : weights) {
-        if (w <= 0)
-            fatal("tenant weight must be positive (got %g)", w);
-        entries_.push_back(Entry{w, 0.0, false});
-        total_weight_ += w;
+    for (double w : weights)
+        arrive(entries_.size(), w);
+}
+
+void
+TenantScheduler::renormalize()
+{
+    // Exact recomputation in slot order: the total is a pure
+    // function of the current runnable set, independent of the
+    // arrival/departure history that produced it.
+    total_weight_ = 0;
+    active_ = 0;
+    for (const Entry &e : entries_) {
+        if (e.done)
+            continue;
+        total_weight_ += e.weight;
+        ++active_;
     }
-    active_ = entries_.size();
+}
+
+void
+TenantScheduler::arrive(size_t index, double weight)
+{
+    if (weight <= 0)
+        fatal("tenant weight must be positive (got %g)", weight);
+    CHERIVOKE_ASSERT(index <= entries_.size(),
+                     "(arrive at a slot beyond the next fresh one)");
+    if (index == entries_.size()) {
+        entries_.push_back(Entry{weight, 0.0, false});
+    } else {
+        Entry &e = entries_[index];
+        CHERIVOKE_ASSERT(e.done, "(arrive at an occupied slot)");
+        e = Entry{weight, 0.0, false};
+    }
+    renormalize();
 }
 
 void
@@ -27,8 +55,7 @@ TenantScheduler::markDone(size_t index)
         return;
     e.done = true;
     e.credit = 0;
-    total_weight_ -= e.weight;
-    --active_;
+    renormalize();
 }
 
 size_t

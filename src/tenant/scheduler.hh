@@ -8,6 +8,13 @@
  * A B A C A B A C … rather than A A B C — and is a pure function of
  * the weights and completion order, which is what makes multi-tenant
  * replay bit-reproducible.
+ *
+ * The rotation is dynamic: tenants arrive (arrive(), credit 0) and
+ * depart (markDone()) mid-run, and the runnable weight total is
+ * re-normalised by exact recomputation over the runnable set on
+ * every membership change — never by incremental +=/-=, whose
+ * floating-point drift would make the pick sequence depend on the
+ * full arrival history rather than on the current membership.
  */
 
 #ifndef CHERIVOKE_TENANT_SCHEDULER_HH
@@ -23,20 +30,40 @@ namespace tenant {
 class TenantScheduler
 {
   public:
+    /** An empty rotation; tenants join via arrive(). */
+    TenantScheduler() = default;
+
     /** @param weights one positive share per tenant */
     explicit TenantScheduler(std::vector<double> weights);
 
     /** Tenants still runnable. */
     size_t activeCount() const { return active_; }
     bool allDone() const { return active_ == 0; }
+    size_t size() const { return entries_.size(); }
 
-    /** Remove a finished tenant from the rotation. */
+    /** Is slot @p index currently in the rotation? */
+    bool isRunnable(size_t index) const
+    {
+        return index < entries_.size() && !entries_[index].done;
+    }
+
+    /**
+     * A tenant joins (or re-joins) the rotation at slot @p index
+     * with share @p weight and zero credit. @p index must be the
+     * next fresh slot (== size()) or a slot whose previous occupant
+     * departed — re-joining mirrors tenant-slot reuse.
+     */
+    void arrive(size_t index, double weight);
+
+    /** Remove a finished (or retired) tenant from the rotation. */
     void markDone(size_t index);
 
     /** The next tenant to run one operation; requires !allDone(). */
     size_t next();
 
   private:
+    /** Recompute the runnable-weight total exactly (see file doc). */
+    void renormalize();
     struct Entry
     {
         double weight = 1.0;

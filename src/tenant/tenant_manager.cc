@@ -1,11 +1,24 @@
 #include "tenant/tenant_manager.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "support/logging.hh"
 
 namespace cherivoke {
 namespace tenant {
+
+namespace {
+
+double
+wallNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 const char *
 scopeName(RevocationScope scope)
@@ -42,6 +55,18 @@ layoutForTenant(size_t index)
     return mem::AddressSpace::Layout{}.shifted(index * kTenantStride);
 }
 
+std::pair<uint64_t, uint64_t>
+shadowWindowForTenant(size_t index)
+{
+    // One shadow byte covers 128 bytes, so a 2 GiB stride owns a
+    // 16 MiB shadow window; windows are page-aligned and disjoint
+    // between slots.
+    static_assert((kTenantStride >> 7) % kPageBytes == 0,
+                  "slot shadow windows must be page aligned");
+    const uint64_t lo = mem::kShadowBase + index * (kTenantStride >> 7);
+    return {lo, lo + (kTenantStride >> 7)};
+}
+
 Tenant::Tenant(size_t index, const TenantConfig &config,
                mem::TaggedMemory &shared, workload::Trace trace)
     : index_(index), config_(config), trace_(std::move(trace)),
@@ -65,30 +90,284 @@ TenantManager::TenantManager(TenantManagerConfig config)
 {}
 
 size_t
+TenantManager::slotOf(uint64_t id) const
+{
+    auto it = live_ids_.find(id);
+    if (it == live_ids_.end())
+        fatal("tenant %llu is not live",
+              static_cast<unsigned long long>(id));
+    return it->second;
+}
+
+Tenant &
+TenantManager::tenant(size_t index)
+{
+    CHERIVOKE_ASSERT(index < slots_.size() && slots_[index].tenant,
+                     "(no live tenant in this slot)");
+    return *slots_[index].tenant;
+}
+
+size_t
+TenantManager::takeSlot(bool &reused)
+{
+    if (!free_slots_.empty()) {
+        // Ascending order: reuse the lowest retired slot, so slot
+        // assignment is a deterministic function of the
+        // spawn/retire history.
+        const size_t slot = free_slots_.front();
+        free_slots_.erase(free_slots_.begin());
+        reused = true;
+        return slot;
+    }
+    reused = false;
+    return slots_.size();
+}
+
+size_t
+TenantManager::activate(uint64_t id, const TenantConfig &config,
+                        workload::Trace trace)
+{
+    if (config.weight <= 0)
+        fatal("tenant '%s': weight must be positive (got %g)",
+              config.name.c_str(), config.weight);
+
+    const double t0 = wallNow();
+    bool reused = false;
+    const size_t slot = takeSlot(reused);
+    auto t = std::make_unique<Tenant>(slot, config, memory_,
+                                      std::move(trace));
+    if (!engine_) {
+        CHERIVOKE_ASSERT(slot == 0);
+        engine_ = std::make_unique<revoke::RevocationEngine>(
+            t->allocator(), t->space(), config_.engine);
+    } else {
+        engine_->bindDomain(slot, t->allocator(), t->space());
+    }
+    if (config.policy)
+        engine_->setDomainPolicy(slot, *config.policy);
+
+    auto r = std::make_unique<workload::TraceReplayer>(
+        t->space(), t->allocator(), engine_.get(), t->trace());
+    r->setPump([this, slot](cache::Hierarchy *h) {
+        pumpFor(slot, h);
+    });
+    // Finishing (or retiring) this tenant must never complete a
+    // neighbour's in-flight epoch: drain only our own domain's.
+    r->setDrain([this, slot](cache::Hierarchy *h) {
+        engine_->drainDomain(slot, h);
+    });
+    r->setLifecycle([this](const workload::TraceOp &op) {
+        onLifecycleOp(op);
+    });
+
+    scheduler_.arrive(slot, config.weight);
+    if (r->done())
+        scheduler_.markDone(slot); // empty trace: never scheduled
+
+    Slot state{std::move(t), std::move(r), id};
+    if (slot == slots_.size()) {
+        slots_.push_back(std::move(state));
+    } else {
+        slots_[slot] = std::move(state);
+    }
+    live_ids_[id] = slot;
+
+    ++spawns_;
+    if (reused)
+        ++slots_reused_;
+    LifecycleEvent ev;
+    ev.kind = LifecycleEvent::Kind::Spawn;
+    ev.tenantId = id;
+    ev.slot = slot;
+    ev.step = steps_;
+    ev.reusedSlot = reused;
+    ev.wallSec = wallNow() - t0;
+    events_.push_back(ev);
+    return slot;
+}
+
+size_t
 TenantManager::addTenant(const TenantConfig &config,
                          workload::Trace trace)
 {
     CHERIVOKE_ASSERT(!ran_, "(addTenant after run())");
-    const size_t index = tenants_.size();
-    auto t = std::make_unique<Tenant>(index, config, memory_,
-                                      std::move(trace));
-    if (!engine_) {
-        engine_ = std::make_unique<revoke::RevocationEngine>(
-            t->allocator(), t->space(), config_.engine);
-    } else {
-        const size_t domain =
-            engine_->addDomain(t->allocator(), t->space());
-        CHERIVOKE_ASSERT(domain == index);
+    // The static tenant's id equals the slot activate() will take
+    // (the lowest free slot, else the next fresh one).
+    const size_t id = free_slots_.empty() ? slots_.size()
+                                          : free_slots_.front();
+    if (live_ids_.count(id) || definitions_.count(id))
+        fatal("tenant id %zu already in use", id);
+    return activate(id, config, std::move(trace));
+}
+
+void
+TenantManager::defineTenant(uint64_t id, const TenantConfig &config,
+                            workload::Trace trace)
+{
+    if (definitions_.count(id))
+        fatal("tenant definition %llu already registered",
+              static_cast<unsigned long long>(id));
+    if (live_ids_.count(id))
+        fatal("tenant id %llu already names a live tenant",
+              static_cast<unsigned long long>(id));
+    if (config.weight <= 0)
+        fatal("tenant '%s': weight must be positive (got %g)",
+              config.name.c_str(), config.weight);
+    definitions_.emplace(id,
+                         Definition{config, std::move(trace)});
+}
+
+size_t
+TenantManager::spawnTenant(uint64_t id)
+{
+    CHERIVOKE_ASSERT(!ran_ || running_,
+                     "(spawnTenant after run() completed)");
+    auto it = definitions_.find(id);
+    if (it == definitions_.end())
+        fatal("spawn of unknown tenant definition %llu",
+              static_cast<unsigned long long>(id));
+    if (live_ids_.count(id))
+        fatal("spawn of already-live tenant %llu",
+              static_cast<unsigned long long>(id));
+    // The definition stays registered: a retired id can respawn.
+    return activate(id, it->second.config, it->second.trace);
+}
+
+TenantResult
+TenantManager::captureResult(size_t slot, bool retired_mid_run)
+{
+    Slot &s = slots_[slot];
+    TenantResult tr;
+    tr.name = s.tenant->name();
+    tr.tenantId = s.id;
+    tr.index = slot;
+    tr.weight = s.tenant->config().weight;
+    tr.opsApplied = s.replayer->opsApplied();
+    tr.opsTotal = s.replayer->opsTotal();
+    tr.retiredMidRun = retired_mid_run;
+    tr.run = s.replayer->finish(hierarchy_);
+    tr.run.revoker = engine_->domainTotals(slot);
+    return tr;
+}
+
+uint64_t
+TenantManager::releaseSlotMemory(size_t slot)
+{
+    Tenant &t = *slots_[slot].tenant;
+    mem::PageTable &pt = memory_.pageTable();
+    for (const mem::Segment &seg : t.space().sweepableSegments())
+        pt.unmap(seg.base, seg.size);
+    const auto [shadow_lo, shadow_hi] = shadowWindowForTenant(slot);
+    pt.unmap(shadow_lo, shadow_hi - shadow_lo);
+
+    uint64_t released =
+        memory_.releaseRange(slot * kTenantStride, kTenantStride);
+    released += memory_.releaseRange(shadow_lo,
+                                     shadow_hi - shadow_lo);
+    return released;
+}
+
+void
+TenantManager::retireTenant(uint64_t id)
+{
+    // Legal before run() (tests, setup) and during it (lifecycle
+    // ops), but not after: the replayers have been finished.
+    CHERIVOKE_ASSERT(!ran_ || running_,
+                     "(retireTenant after run() completed)");
+    const double t0 = wallNow();
+    const size_t slot = slotOf(id);
+
+    // 1. An epoch this tenant owns must complete before its region
+    //    disappears (a neighbour's open epoch is left untouched).
+    engine_->drainDomain(slot, hierarchy_);
+
+    // 2. Capture the partial replay before the state goes away.
+    live_allocs_ -= slots_[slot].replayer->liveObjects();
+    TenantResult tr = captureResult(slot, true);
+
+    // 3. Retire the engine domain; the engine requires the active
+    //    domain to move off the slot first when others remain.
+    if (engine_->activeDomain() == slot) {
+        for (size_t j = 0; j < slots_.size(); ++j) {
+            if (j != slot && slots_[j].tenant) {
+                engine_->selectDomain(j);
+                break;
+            }
+        }
     }
-    tenants_.push_back(std::move(t));
-    return index;
+    engine_->retireDomain(slot, hierarchy_);
+
+    // 4. Unmap the image + shadow PTEs and release every backing
+    //    page of the slot: the next occupant must observe a
+    //    fresh-slot image (zero data, zero tags, zero shadow, zero
+    //    residency, no CapDirty history).
+    const uint64_t released = releaseSlotMemory(slot);
+
+    // 5. Free the slot for reuse.
+    slots_[slot].replayer.reset();
+    slots_[slot].tenant.reset();
+    free_slots_.insert(
+        std::lower_bound(free_slots_.begin(), free_slots_.end(),
+                         slot),
+        slot);
+    scheduler_.markDone(slot);
+    live_ids_.erase(id);
+    retired_results_.push_back(std::move(tr));
+
+    ++retires_;
+    LifecycleEvent ev;
+    ev.kind = LifecycleEvent::Kind::Retire;
+    ev.tenantId = id;
+    ev.slot = slot;
+    ev.step = steps_;
+    ev.pagesReleased = released;
+    ev.wallSec = wallNow() - t0;
+    events_.push_back(ev);
+}
+
+void
+TenantManager::onLifecycleOp(const workload::TraceOp &op)
+{
+    // Validate eagerly (the fatal belongs to the op that asked), but
+    // apply after the current step returns: tearing down the tenant
+    // that is mid-step — a trace retiring its own issuer — would
+    // destroy the replayer under its own feet.
+    if (op.kind == workload::OpKind::SpawnTenant) {
+        if (!definitions_.count(op.id))
+            fatal("spawn of unknown tenant definition %llu",
+                  static_cast<unsigned long long>(op.id));
+        if (live_ids_.count(op.id))
+            fatal("spawn of already-live tenant %llu",
+                  static_cast<unsigned long long>(op.id));
+    } else {
+        if (!live_ids_.count(op.id))
+            fatal("retire of unknown tenant %llu",
+                  static_cast<unsigned long long>(op.id));
+    }
+    CHERIVOKE_ASSERT(!pending_,
+                     "(two lifecycle ops from one trace step)");
+    pending_ = op;
+}
+
+void
+TenantManager::applyPendingLifecycle()
+{
+    if (!pending_)
+        return;
+    const workload::TraceOp op = *pending_;
+    pending_.reset();
+    if (op.kind == workload::OpKind::SpawnTenant) {
+        spawnTenant(op.id);
+    } else {
+        retireTenant(op.id);
+    }
 }
 
 // Engine pump for tenant `index`: bind the engine to the tenant's
 // domain, then let the configured scope decide what a budget trigger
-// sweeps. An epoch already in flight always just advances (under the
-// concurrent policy every tenant's allocator ops push it along —
-// cross-tenant mutator assist).
+// sweeps. An epoch already in flight always just advances, under the
+// policy of the domain that owns it (cross-tenant mutator assist —
+// also the arbitration point when policies are mixed).
 void
 TenantManager::pumpFor(size_t index, cache::Hierarchy *hierarchy)
 {
@@ -102,8 +381,9 @@ TenantManager::pumpFor(size_t index, cache::Hierarchy *hierarchy)
     // tenant that has anything quarantined.
     if (!engine_->quarantinePressure())
         return;
-    for (size_t j = 0; j < tenants_.size(); ++j) {
-        if (tenants_[j]->allocator().quarantinedBytes() == 0)
+    for (size_t j = 0; j < slots_.size(); ++j) {
+        if (!slots_[j].tenant ||
+            slots_[j].tenant->allocator().quarantinedBytes() == 0)
             continue;
         engine_->selectDomain(j);
         engine_->revokeNow(hierarchy);
@@ -115,40 +395,21 @@ MultiTenantResult
 TenantManager::run(cache::Hierarchy *hierarchy)
 {
     CHERIVOKE_ASSERT(!ran_, "(run() is callable once)");
-    CHERIVOKE_ASSERT(!tenants_.empty(), "(run() with no tenants)");
+    CHERIVOKE_ASSERT(!live_ids_.empty(), "(run() with no tenants)");
     ran_ = true;
+    running_ = true;
+    hierarchy_ = hierarchy;
 
     MultiTenantResult result;
 
-    // Build one replayer per tenant, each pumping through the
-    // manager so domain selection and scope apply.
-    std::vector<std::unique_ptr<workload::TraceReplayer>> replayers;
-    std::vector<double> weights;
-    replayers.reserve(tenants_.size());
-    for (auto &t : tenants_) {
-        auto r = std::make_unique<workload::TraceReplayer>(
-            t->space(), t->allocator(), engine_.get(), t->trace());
-        r->setPump([this, index = t->index()](cache::Hierarchy *h) {
-            pumpFor(index, h);
-        });
-        replayers.push_back(std::move(r));
-        weights.push_back(t->config().weight);
-    }
-
-    TenantScheduler scheduler(weights);
-    for (size_t i = 0; i < tenants_.size(); ++i) {
-        if (replayers[i]->done())
-            scheduler.markDone(i);
-    }
-
-    uint64_t live_allocs = 0; //!< exact aggregate, updated per step
-    uint64_t steps = 0;
     auto sample_byte_peaks = [&]() {
         uint64_t live = 0, quarantined = 0, footprint = 0;
-        for (auto &t : tenants_) {
-            live += t->allocator().liveBytes();
-            quarantined += t->allocator().quarantinedBytes();
-            footprint += t->allocator().footprintBytes();
+        for (const Slot &s : slots_) {
+            if (!s.tenant)
+                continue;
+            live += s.tenant->allocator().liveBytes();
+            quarantined += s.tenant->allocator().quarantinedBytes();
+            footprint += s.tenant->allocator().footprintBytes();
         }
         result.peakAggLiveBytes =
             std::max(result.peakAggLiveBytes, live);
@@ -158,33 +419,36 @@ TenantManager::run(cache::Hierarchy *hierarchy)
             std::max(result.peakAggFootprintBytes, footprint);
     };
 
-    while (!scheduler.allDone()) {
-        const size_t i = scheduler.next();
-        workload::TraceReplayer &r = *replayers[i];
+    while (!scheduler_.allDone()) {
+        const size_t i = scheduler_.next();
+        workload::TraceReplayer &r = *slots_[i].replayer;
         const uint64_t live_before = r.liveObjects();
         r.step(hierarchy);
-        live_allocs += r.liveObjects() - live_before; // may wrap; sums exactly
+        live_allocs_ += r.liveObjects() - live_before; // may wrap;
+                                                       // sums exactly
+        ++steps_;
         result.peakAggLiveAllocs =
-            std::max(result.peakAggLiveAllocs, live_allocs);
-        if (++steps % kAggregateSampleOps == 0)
+            std::max(result.peakAggLiveAllocs, live_allocs_);
+        if (steps_ % kAggregateSampleOps == 0)
             sample_byte_peaks();
-        if (r.done())
-            scheduler.markDone(i);
+        // A lifecycle op this step requested applies now, once the
+        // issuing replayer is off the stack (it may retire itself).
+        applyPendingLifecycle();
+        if (slots_[i].replayer && slots_[i].replayer->done())
+            scheduler_.markDone(i);
     }
     sample_byte_peaks();
 
-    // Finish every tenant (drains any epoch still open) and patch
-    // each result's revocation view down to its own domain.
-    result.tenants.reserve(tenants_.size());
-    for (size_t i = 0; i < tenants_.size(); ++i) {
+    // Finish every surviving tenant (drains an epoch it owns) and
+    // patch each result's revocation view down to its own domain;
+    // retired tenants were captured at retirement.
+    result.tenants = std::move(retired_results_);
+    retired_results_.clear();
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].tenant)
+            continue;
         engine_->selectDomain(i);
-        TenantResult tr;
-        tr.name = tenants_[i]->name();
-        tr.index = i;
-        tr.weight = tenants_[i]->config().weight;
-        tr.run = replayers[i]->finish(hierarchy);
-        tr.run.revoker = engine_->domainTotals(i);
-        result.tenants.push_back(std::move(tr));
+        result.tenants.push_back(captureResult(i, false));
     }
 
     result.engine = engine_->totals();
@@ -204,7 +468,14 @@ TenantManager::run(cache::Hierarchy *hierarchy)
         result.tenantPeakLiveAllocs.add(
             static_cast<double>(tr.run.peakLiveAllocs));
     }
-    result.totalOps = steps;
+    result.totalOps = steps_;
+    result.lifecycle = events_;
+    result.spawns = spawns_;
+    result.retires = retires_;
+    result.slotsReused = slots_reused_;
+
+    running_ = false;
+    hierarchy_ = nullptr;
     return result;
 }
 

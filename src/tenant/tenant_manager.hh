@@ -13,11 +13,11 @@
  *     TenantManager
  *       ├── mem::TaggedMemory            (shared physical image)
  *       ├── revoke::RevocationEngine     (one engine, one domain per
- *       │                                 tenant)
- *       └── Tenant[i]
+ *       │                                 tenant slot)
+ *       └── Tenant[slot]
  *             ├── mem::AddressSpace      (layout shifted by
- *             │                           i * kTenantStride, bound to
- *             │                           the shared memory)
+ *             │                           slot * kTenantStride, bound
+ *             │                           to the shared memory)
  *             ├── alloc::CherivokeAllocator (+ its quarantine and
  *             │                           shadow map over the shared
  *             │                           shadow region)
@@ -31,18 +31,37 @@
  * sweep scoping PoisonCap-style hierarchical schedules assume) or
  * Global (any tenant hitting its budget drains every tenant's
  * quarantine in one pause, the worst-case consolidation stall).
+ * Tenants are heterogeneous: each TenantConfig may carry its own
+ * revocation policy, so one tenant runs concurrent revocation while
+ * a neighbour stops the world on the same engine (arbitration lives
+ * in the engine: the open epoch's owner wins).
+ *
+ * Tenants also come and go mid-run. defineTenant() registers a
+ * spawnable definition; a SpawnTenant trace op (or a direct
+ * spawnTenant() call between runs) activates it in the lowest free
+ * 2 GiB slot — reusing a retired tenant's slot when one is free —
+ * and a RetireTenant op tears a live tenant down: its domain's open
+ * epoch is drained, its partial results are captured, its PTEs
+ * (image + shadow window) are unmapped, and every backing page of
+ * its slot is released, so the next occupant of the slot observes
+ * exactly what a fresh slot shows — zero data, zero tags, zero
+ * shadow bytes, nothing resident.
  *
  * Everything is deterministic: same tenant configs + same traces →
- * bit-identical per-tenant and aggregate statistics. A 1-tenant
- * manager is op-for-op identical to the classic single-process
- * workload::TraceDriver pipeline (tenant 0's layout shift is zero).
+ * bit-identical per-tenant and aggregate statistics (lifecycle
+ * wall-clock measurements excepted — they are reporting, not
+ * model state). A 1-tenant manager is op-for-op identical to the
+ * classic single-process workload::TraceDriver pipeline (tenant 0's
+ * layout shift is zero).
  */
 
 #ifndef CHERIVOKE_TENANT_TENANT_MANAGER_HH
 #define CHERIVOKE_TENANT_TENANT_MANAGER_HH
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/addr_space.hh"
@@ -77,15 +96,26 @@ constexpr size_t kMaxTenants = mem::kShadowBase / kTenantStride;
 /** Segment layout of tenant @p index (fatal when index too large). */
 mem::AddressSpace::Layout layoutForTenant(size_t index);
 
+/** The shadow-region window that covers slot @p index's stride:
+ *  disjoint between slots and page-aligned (the stride is a multiple
+ *  of 128 pages), so a slot teardown can release it wholesale. */
+std::pair<uint64_t, uint64_t> shadowWindowForTenant(size_t index);
+
 /** Per-tenant knobs. */
 struct TenantConfig
 {
     std::string name;
-    /** Scheduler share: ops per rotation relative to other tenants. */
+    /** Scheduler share: ops per rotation relative to other tenants.
+     *  Must be positive (a zero share could never be scheduled and
+     *  is rejected up front, not at run()). */
     double weight = 1.0;
     alloc::CherivokeConfig alloc{};
     uint64_t globalsBytes = 512 * KiB;
     uint64_t stackBytes = 512 * KiB;
+    /** Revocation policy for this tenant's engine domain; unset →
+     *  the engine-wide default. Mixing policies on one engine is
+     *  supported (epoch-owner-wins arbitration). */
+    std::optional<revoke::PolicyKind> policy;
 };
 
 /** One hosted tenant: its region, allocator, and trace. */
@@ -114,16 +144,46 @@ class Tenant
 struct TenantResult
 {
     std::string name;
+    /** The tenant's stable id (lifecycle namespace). */
+    uint64_t tenantId = 0;
+    /** The 2 GiB slot the tenant occupied. */
     size_t index = 0;
     double weight = 1.0;
+    /** Trace ops actually applied; < opsTotal when the tenant was
+     *  retired before its trace finished. */
+    uint64_t opsApplied = 0;
+    uint64_t opsTotal = 0;
+    bool retiredMidRun = false;
     /** Per-tenant driver statistics; .revoker holds this tenant's
      *  domain totals, not the engine-wide aggregate. */
     workload::DriverResult run;
 };
 
+/** One tenant arrival or departure, as it was applied. */
+struct LifecycleEvent
+{
+    enum class Kind { Spawn, Retire };
+
+    Kind kind = Kind::Spawn;
+    uint64_t tenantId = 0;
+    size_t slot = 0;
+    /** Scheduler steps completed when the event applied (0 when it
+     *  happened before run()). */
+    uint64_t step = 0;
+    /** Spawn: the slot previously hosted a retired tenant. */
+    bool reusedSlot = false;
+    /** Retire: backing pages released (image + shadow window). */
+    uint64_t pagesReleased = 0;
+    /** Host wall-clock cost of the transition. Reporting only:
+     *  non-deterministic, excluded from replay fingerprints. */
+    double wallSec = 0;
+};
+
 /** Everything one multi-tenant replay produces. */
 struct MultiTenantResult
 {
+    /** Retired tenants in retirement order, then survivors in slot
+     *  order (a no-churn run is therefore slot order, as before). */
     std::vector<TenantResult> tenants;
 
     /** Engine-wide revocation totals (sum over all tenants). */
@@ -136,6 +196,15 @@ struct MultiTenantResult
     uint64_t freeCalls = 0;
     uint64_t freedBytes = 0;
     uint64_t ptrStores = 0;
+    /// @}
+
+    /** @name Tenant-lifecycle log (spawn/retire mid-run) */
+    /// @{
+    std::vector<LifecycleEvent> lifecycle;
+    uint64_t spawns = 0;
+    uint64_t retires = 0;
+    /** Spawns that landed in a previously retired tenant's slot. */
+    uint64_t slotsReused = 0;
     /// @}
 
     /** @name Aggregate peaks across the consolidated image.
@@ -180,15 +249,53 @@ class TenantManager
         TenantManagerConfig config = TenantManagerConfig{});
 
     /**
-     * Add a tenant and register it as a domain of the shared engine
-     * (created on first add). Tenants must all be added before run().
-     * @return the tenant's index
+     * Add a tenant before run(): occupies the lowest free slot and
+     * registers it as a domain of the shared engine (created on
+     * first add). Its tenant id equals the returned slot.
+     * @return the tenant's slot
      */
     size_t addTenant(const TenantConfig &config,
                      workload::Trace trace);
 
-    size_t tenantCount() const { return tenants_.size(); }
-    Tenant &tenant(size_t index) { return *tenants_.at(index); }
+    /**
+     * Register a spawnable tenant definition under @p id (must not
+     * collide with a live tenant's id or another definition). A
+     * SpawnTenant trace op — or a direct spawnTenant() call —
+     * activates it later.
+     */
+    void defineTenant(uint64_t id, const TenantConfig &config,
+                      workload::Trace trace);
+
+    /**
+     * Activate registered definition @p id in the lowest free slot
+     * (reusing a retired slot when one exists). Fatal when @p id is
+     * unknown or already live. @return the slot spawned into
+     */
+    size_t spawnTenant(uint64_t id);
+
+    /**
+     * Tear live tenant @p id down: drain its domain's open epoch (if
+     * it owns one), capture its partial results, retire its engine
+     * domain, unmap its PTEs (image segments + shadow window),
+     * release every backing page of its slot, and put the slot on
+     * the free list. Fatal when @p id is not live.
+     */
+    void retireTenant(uint64_t id);
+
+    /** Live (spawned and not retired) tenants. */
+    size_t tenantCount() const { return live_ids_.size(); }
+    /** Slots ever occupied (live + retired, free-list included). */
+    size_t slotCount() const { return slots_.size(); }
+    size_t freeSlotCount() const { return free_slots_.size(); }
+    bool tenantLive(uint64_t id) const
+    {
+        return live_ids_.count(id) != 0;
+    }
+    /** Slot of live tenant @p id (fatal when not live). */
+    size_t slotOf(uint64_t id) const;
+
+    /** The tenant in slot @p index (must be live). */
+    Tenant &tenant(size_t index);
     mem::TaggedMemory &memory() { return memory_; }
     const TenantManagerConfig &config() const { return config_; }
 
@@ -197,18 +304,56 @@ class TenantManager
 
     /**
      * Interleave every tenant's trace to completion under the
-     * weighted scheduler, pumping the shared engine per operation.
+     * weighted scheduler, pumping the shared engine per operation
+     * and applying SpawnTenant/RetireTenant ops as they replay.
      * Callable once. @param hierarchy optional shared cache model
      */
     MultiTenantResult run(cache::Hierarchy *hierarchy = nullptr);
 
   private:
+    /** One 2 GiB slot: its tenant + replayer while occupied. */
+    struct Slot
+    {
+        std::unique_ptr<Tenant> tenant;
+        std::unique_ptr<workload::TraceReplayer> replayer;
+        uint64_t id = 0;
+    };
+
+    /** A registered spawnable tenant. */
+    struct Definition
+    {
+        TenantConfig config;
+        workload::Trace trace;
+    };
+
     void pumpFor(size_t index, cache::Hierarchy *hierarchy);
+    size_t takeSlot(bool &reused);
+    size_t activate(uint64_t id, const TenantConfig &config,
+                    workload::Trace trace);
+    void onLifecycleOp(const workload::TraceOp &op);
+    void applyPendingLifecycle();
+    TenantResult captureResult(size_t slot, bool retired_mid_run);
+    uint64_t releaseSlotMemory(size_t slot);
 
     TenantManagerConfig config_;
     mem::TaggedMemory memory_;
-    std::vector<std::unique_ptr<Tenant>> tenants_;
+    std::vector<Slot> slots_;
+    std::vector<size_t> free_slots_; //!< ascending; reuse lowest
+    std::unordered_map<uint64_t, size_t> live_ids_; //!< id → slot
+    std::unordered_map<uint64_t, Definition> definitions_;
     std::unique_ptr<revoke::RevocationEngine> engine_;
+    TenantScheduler scheduler_;
+    std::vector<TenantResult> retired_results_;
+    std::vector<LifecycleEvent> events_;
+    std::optional<workload::TraceOp> pending_; //!< lifecycle op from
+                                               //!< the current step
+    cache::Hierarchy *hierarchy_ = nullptr; //!< while run() executes
+    uint64_t live_allocs_ = 0; //!< exact aggregate live allocations
+    uint64_t steps_ = 0;
+    uint64_t spawns_ = 0;
+    uint64_t retires_ = 0;
+    uint64_t slots_reused_ = 0;
+    bool running_ = false;
     bool ran_ = false;
 };
 

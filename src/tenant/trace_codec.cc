@@ -78,7 +78,8 @@ encodeTrace(const workload::Trace &trace)
     using workload::OpKind;
     std::vector<uint8_t> out(encodedTraceBytes(trace), 0);
     putU64(&out[0], kTraceMagic);
-    putU32(&out[8], kTraceVersion);
+    putU32(&out[8], trace.hasLifecycleOps() ? kTraceVersionLifecycle
+                                            : kTraceVersionClassic);
     putU32(&out[12], static_cast<uint32_t>(kTraceRecordBytes));
     putU64(&out[16], trace.ops.size());
 
@@ -108,6 +109,10 @@ encodeTrace(const workload::Trace &trace)
             putU32(&rec[4], auxOrDie(op.offset, i));
             putU64(&rec[8], op.src);
             break;
+          case OpKind::SpawnTenant:
+          case OpKind::RetireTenant:
+            putU64(&rec[8], op.id);
+            break;
         }
         putF64(&rec[24], op.dt);
     }
@@ -125,9 +130,11 @@ decodeTrace(const uint8_t *data, size_t size)
     if (getU64(&data[0]) != kTraceMagic)
         fatal("not a binary cherivoke trace (bad magic)");
     const uint32_t version = getU32(&data[8]);
-    if (version != kTraceVersion)
-        fatal("binary trace version %u unsupported (expected %u)",
-              version, kTraceVersion);
+    if (version != kTraceVersionClassic &&
+        version != kTraceVersionLifecycle)
+        fatal("binary trace version %u unsupported (expected %u "
+              "or %u)",
+              version, kTraceVersionClassic, kTraceVersionLifecycle);
     const uint32_t stride = getU32(&data[12]);
     if (stride != kTraceRecordBytes)
         fatal("binary trace record stride %u unsupported "
@@ -144,13 +151,18 @@ decodeTrace(const uint8_t *data, size_t size)
 
     workload::Trace trace;
     trace.ops.resize(count);
+    const uint8_t kind_limit =
+        version >= kTraceVersionLifecycle
+            ? workload::kMaxOpKind
+            : static_cast<uint8_t>(OpKind::RootPtr);
     const uint8_t *rec = data + kTraceHeaderBytes;
     for (uint64_t i = 0; i < count; ++i, rec += kTraceRecordBytes) {
         workload::TraceOp &op = trace.ops[i];
         const uint8_t kind = rec[0];
-        if (kind > static_cast<uint8_t>(OpKind::RootPtr))
-            fatal("binary trace record %llu: unknown op kind %u",
-                  static_cast<unsigned long long>(i), kind);
+        if (kind > kind_limit)
+            fatal("binary trace record %llu: unknown op kind %u "
+                  "for version %u",
+                  static_cast<unsigned long long>(i), kind, version);
         op.kind = static_cast<OpKind>(kind);
         switch (op.kind) {
           case OpKind::Malloc:
@@ -172,6 +184,10 @@ decodeTrace(const uint8_t *data, size_t size)
           case OpKind::RootPtr:
             op.offset = getU32(&rec[4]);
             op.src = getU64(&rec[8]);
+            break;
+          case OpKind::SpawnTenant:
+          case OpKind::RetireTenant:
+            op.id = getU64(&rec[8]);
             break;
         }
         op.dt = getF64(&rec[24]);

@@ -12,7 +12,8 @@
  * Layout (all little-endian):
  *
  *     header   byte 0   u64  magic   "CHERIVTB"
- *              byte 8   u32  version (currently 1)
+ *              byte 8   u32  version (1 = classic ops only,
+ *                            2 = may contain tenant-lifecycle ops)
  *              byte 12  u32  record stride in bytes (32)
  *              byte 16  u64  op count
  *              byte 24  u64  reserved (0)
@@ -20,7 +21,8 @@
  *              byte 1   u8[3] zero padding
  *              byte 4   u32  aux: byte offset / root slot
  *              byte 8   u64  a:  Malloc/Free id; StorePtr/RootPtr src;
- *                                StoreData dst
+ *                                StoreData dst; Spawn/RetireTenant
+ *                                tenant id
  *              byte 16  u64  b:  Malloc size; StorePtr dst
  *              byte 24  f64  dt (virtual seconds since previous op)
  *
@@ -30,6 +32,13 @@
  * stream byte for byte, which is what makes binary traces a
  * deterministic-replay interchange format: record once, replay
  * anywhere, bit-identical statistics.
+ *
+ * Versioning: v2 adds the SpawnTenant/RetireTenant record kinds and
+ * nothing else — header and record layouts are unchanged. The
+ * encoder emits version 1 whenever a trace contains no lifecycle
+ * ops, so every pre-lifecycle trace still round-trips to the exact
+ * v1 byte image, and the decoder accepts both versions (a lifecycle
+ * record inside a v1 stream is corruption and fails fast).
  */
 
 #ifndef CHERIVOKE_TENANT_TRACE_CODEC_HH
@@ -46,20 +55,28 @@ namespace tenant {
 
 /** "CHERIVTB" read as a little-endian u64. */
 constexpr uint64_t kTraceMagic = 0x4254564952454843ULL;
-constexpr uint32_t kTraceVersion = 1;
+/** Classic (pre-lifecycle) record set. */
+constexpr uint32_t kTraceVersionClassic = 1;
+/** Adds SpawnTenant/RetireTenant records; layout unchanged. */
+constexpr uint32_t kTraceVersionLifecycle = 2;
+/** Newest version this codec writes. */
+constexpr uint32_t kTraceVersion = kTraceVersionLifecycle;
 constexpr size_t kTraceHeaderBytes = 32;
 constexpr size_t kTraceRecordBytes = 32;
 
 /** Exact encoded size of @p trace in bytes. */
 size_t encodedTraceBytes(const workload::Trace &trace);
 
-/** Serialise @p trace to the binary format. Throws FatalError when a
- *  field overflows its encoding (offset or root slot >= 2^32). */
+/** Serialise @p trace to the binary format — version 1 when it
+ *  contains no lifecycle ops (so pre-lifecycle traces keep their
+ *  exact v1 byte image), version 2 otherwise. Throws FatalError when
+ *  a field overflows its encoding (offset or root slot >= 2^32). */
 std::vector<uint8_t> encodeTrace(const workload::Trace &trace);
 
 /** Decode a binary trace from an in-memory image (for example an
- *  mmap'ed file). Throws FatalError on bad magic, version, stride,
- *  truncation, or an unknown op kind. */
+ *  mmap'ed file). Accepts versions 1 and 2. Throws FatalError on bad
+ *  magic, version, stride, truncation, an unknown op kind, or a
+ *  lifecycle record inside a v1 stream. */
 workload::Trace decodeTrace(const uint8_t *data, size_t size);
 workload::Trace decodeTrace(const std::vector<uint8_t> &bytes);
 

@@ -57,6 +57,10 @@ TraceReplayer::TraceReplayer(mem::AddressSpace &space,
     pump_ = [this](cache::Hierarchy *hierarchy) {
         engine_->maybeRevoke(hierarchy);
     };
+    drain_ = [this](cache::Hierarchy *hierarchy) {
+        if (engine_ && engine_->epochOpen())
+            engine_->drain(hierarchy);
+    };
 }
 
 void
@@ -161,6 +165,16 @@ TraceReplayer::step(cache::Hierarchy *hierarchy)
                         src->second);
         break;
       }
+      case OpKind::SpawnTenant:
+      case OpKind::RetireTenant: {
+        if (!lifecycle_)
+            fatal("tenant-lifecycle trace op (%s of tenant %llu) "
+                  "outside a tenant manager",
+                  op.kind == OpKind::SpawnTenant ? "spawn" : "retire",
+                  static_cast<unsigned long long>(op.id));
+        lifecycle_(op);
+        break;
+      }
     }
     trackPeaks();
 }
@@ -172,9 +186,9 @@ TraceReplayer::finish(cache::Hierarchy *hierarchy)
     finished_ = true;
 
     // A concurrent-policy epoch may still be open: drain it so the
-    // run's revocation totals are complete.
-    if (engine_ && engine_->epochOpen())
-        engine_->drain(hierarchy);
+    // run's revocation totals are complete (multi-tenant hosts narrow
+    // this to the tenant's own domain via setDrain()).
+    drain_(hierarchy);
 
     if (result_.densitySamples > 0) {
         result_.pageDensity =

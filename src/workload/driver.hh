@@ -75,6 +75,8 @@ class TraceReplayer
 {
   public:
     using PumpFn = std::function<void(cache::Hierarchy *)>;
+    using DrainFn = std::function<void(cache::Hierarchy *)>;
+    using LifecycleFn = std::function<void(const TraceOp &)>;
 
     /**
      * @param engine nullable: without it, frees quarantine but no
@@ -87,6 +89,22 @@ class TraceReplayer
 
     /** Replace the engine pump (multi-tenant scheduling hook). */
     void setPump(PumpFn pump) { pump_ = std::move(pump); }
+
+    /**
+     * Replace finish()'s end-of-replay drain. The default drains
+     * whatever epoch the engine has open; a multi-tenant host narrows
+     * it to this tenant's own domain so finishing (or retiring) one
+     * tenant never completes a neighbour's in-flight epoch.
+     */
+    void setDrain(DrainFn drain) { drain_ = std::move(drain); }
+
+    /**
+     * Receive SpawnTenant/RetireTenant ops (a TenantManager resolves
+     * them against its definition registry). Without a handler a
+     * lifecycle op is fatal: it cannot mean anything to a
+     * single-process replay.
+     */
+    void setLifecycle(LifecycleFn fn) { lifecycle_ = std::move(fn); }
 
     /** All ops applied (finish() may still be outstanding). */
     bool done() const { return next_ >= trace_->ops.size(); }
@@ -117,6 +135,8 @@ class TraceReplayer
     revoke::RevocationEngine *engine_;
     const Trace *trace_;
     PumpFn pump_;
+    DrainFn drain_;
+    LifecycleFn lifecycle_;
 
     /** trace id -> cap. Hash map, never iterated: the mutator pays
      *  O(1) per op where the former ordered map paid O(log n) at

@@ -21,6 +21,8 @@ opName(OpKind kind)
       case OpKind::StorePtr: return "storeptr";
       case OpKind::StoreData: return "storedata";
       case OpKind::RootPtr: return "rootptr";
+      case OpKind::SpawnTenant: return "spawn";
+      case OpKind::RetireTenant: return "retire";
     }
     return "?";
 }
@@ -38,6 +40,10 @@ opFromName(const std::string &name)
         return OpKind::StoreData;
     if (name == "rootptr")
         return OpKind::RootPtr;
+    if (name == "spawn")
+        return OpKind::SpawnTenant;
+    if (name == "retire")
+        return OpKind::RetireTenant;
     fatal("unknown trace op '%s'", name.c_str());
 }
 
@@ -50,6 +56,16 @@ Trace::virtualSeconds() const
     for (const auto &op : ops)
         t += op.dt;
     return t;
+}
+
+bool
+Trace::hasLifecycleOps() const
+{
+    for (const auto &op : ops) {
+        if (isLifecycleOp(op.kind))
+            return true;
+    }
+    return false;
 }
 
 void

@@ -25,7 +25,28 @@ enum class OpKind : uint8_t
     StoreData, //!< store plain data at `dst`+`offset` (kills a tag)
     RootPtr,   //!< store a capability to `src` in global root slot
                //!< `offset` (models pointers in globals/stack)
+
+    /** @name Tenant-lifecycle control ops (trace-codec v2)
+     *  Replayable only under a tenant::TenantManager, which resolves
+     *  `id` against its registered tenant definitions / live tenants
+     *  (unknown ids are fatal). A plain TraceDriver replay of a
+     *  lifecycle op is a configuration error. */
+    /// @{
+    SpawnTenant, //!< activate registered tenant definition `id`
+    RetireTenant, //!< tear down live tenant `id`
+    /// @}
 };
+
+/** Largest valid OpKind value (range checks in codecs). */
+constexpr uint8_t kMaxOpKind =
+    static_cast<uint8_t>(OpKind::RetireTenant);
+
+/** True for the tenant-lifecycle control ops. */
+constexpr bool
+isLifecycleOp(OpKind kind)
+{
+    return kind == OpKind::SpawnTenant || kind == OpKind::RetireTenant;
+}
 
 /** One trace operation. */
 struct TraceOp
@@ -46,6 +67,10 @@ struct Trace
 
     /** Sum of all dt fields: the virtual duration. */
     double virtualSeconds() const;
+
+    /** True when any op is a tenant-lifecycle control op (such a
+     *  trace needs the v2 binary encoding and a TenantManager). */
+    bool hasLifecycleOps() const;
 
     /** Plain-text serialisation (one op per line). */
     void save(std::ostream &os) const;

@@ -356,6 +356,206 @@ TEST(RevocationEngineTest, ExperimentRunsUnderEveryPolicy)
     }
 }
 
+// ---- Multi-domain epoch edge cases -----------------------------
+
+namespace {
+
+/** Two tenants' (allocator, space) pairs on one shared memory,
+ *  engine domain i == tenant i — the minimal multi-domain fixture
+ *  (tenant::TenantManager builds the same shape at scale). */
+struct TwoDomains
+{
+    mem::TaggedMemory memory;
+    mem::AddressSpace space0;
+    mem::AddressSpace space1;
+    CherivokeAllocator heap0;
+    CherivokeAllocator heap1;
+
+    explicit TwoDomains(CherivokeConfig cfg = smallConfig())
+        : space0(memory, mem::AddressSpace::Layout{}, 512 * KiB,
+                 512 * KiB),
+          space1(memory,
+                 mem::AddressSpace::Layout{}.shifted(0x8000'0000ULL),
+                 512 * KiB, 512 * KiB),
+          heap0(space0, cfg), heap1(space1, cfg)
+    {}
+};
+
+/** Quarantine enough of domain @p heap to put it over budget. */
+void
+pressurize(mem::AddressSpace &space, CherivokeAllocator &heap,
+           uint64_t globals_base)
+{
+    std::vector<Capability> caps;
+    for (int i = 0; i < 64; ++i) {
+        const Capability c = heap.malloc(512);
+        space.memory().writeCap(
+            globals_base + static_cast<uint64_t>(i) * 16, c);
+        // A self-referential store marks the heap page CapDirty, so
+        // the worklist spans several pages (multi-slice epochs).
+        space.memory().storeCap(c, c.base(), c);
+        caps.push_back(c);
+    }
+    for (size_t i = 0; i < caps.size(); i += 2)
+        heap.free(caps[i]);
+}
+
+} // namespace
+
+TEST(MultiDomainEpochs, RetireWithOpenEpochDrainsOwnDomainOnly)
+{
+    TwoDomains d;
+    RevocationEngine engine(d.heap0, d.space0,
+                            policyConfig(PolicyKind::Concurrent, 1));
+    engine.addDomain(d.heap1, d.space1);
+    engine.setDomainPolicy(1, PolicyKind::Concurrent);
+
+    // Open an epoch on domain 1, advanced only part way.
+    pressurize(d.space1, d.heap1, d.space1.globals().base);
+    engine.selectDomain(1);
+    engine.maybeRevoke();
+    ASSERT_TRUE(engine.epochOpen());
+    ASSERT_EQ(engine.epochDomainIndex(), 1u);
+
+    // Retiring domain 0 must not touch domain 1's open epoch.
+    engine.selectDomain(1);
+    engine.retireDomain(0);
+    EXPECT_TRUE(engine.epochOpen());
+    EXPECT_TRUE(engine.domainRetired(0));
+
+    // Retiring domain 1 drains its own epoch to completion first.
+    engine.retireDomain(1);
+    EXPECT_FALSE(engine.epochOpen());
+    EXPECT_EQ(engine.domainTotals(1).epochs, 1u);
+    EXPECT_EQ(engine.domainTotals(0).epochs, 0u);
+    EXPECT_TRUE(engine.allRetired());
+}
+
+TEST(MultiDomainEpochs, GlobalSweepRacingPerTenantEpoch)
+{
+    // Domain 0 runs concurrent and has an epoch in flight; domain 1
+    // forces a stop-the-world pause (the global-scope trigger).
+    // Arbitration: the forced pause first completes domain 0's
+    // epoch — credited to domain 0 — then runs domain 1's own.
+    TwoDomains d;
+    RevocationEngine engine(d.heap0, d.space0,
+                            policyConfig(PolicyKind::Concurrent, 1));
+    engine.addDomain(d.heap1, d.space1);
+    engine.setDomainPolicy(1, PolicyKind::StopTheWorld);
+
+    pressurize(d.space0, d.heap0, d.space0.globals().base);
+    engine.selectDomain(0);
+    engine.maybeRevoke();
+    ASSERT_TRUE(engine.epochOpen());
+    ASSERT_EQ(engine.epochDomainIndex(), 0u);
+
+    pressurize(d.space1, d.heap1, d.space1.globals().base);
+    engine.selectDomain(1);
+    const EpochStats last = engine.revokeNow();
+    EXPECT_FALSE(engine.epochOpen());
+    EXPECT_EQ(engine.domainTotals(0).epochs, 1u);
+    EXPECT_EQ(engine.domainTotals(1).epochs, 1u);
+    EXPECT_EQ(engine.totals().epochs, 2u);
+    // revokeNow's return value is domain 1's own epoch: a single
+    // stop-the-world pause (one slice).
+    EXPECT_EQ(last.slices, 1u);
+}
+
+TEST(MultiDomainEpochs, MixedPolicyPumpAssistsEpochOwner)
+{
+    // A stop-the-world neighbour's pump advances the concurrent
+    // tenant's open epoch (epoch-owner-wins) instead of opening a
+    // second epoch or stalling.
+    TwoDomains d;
+    RevocationEngine engine(d.heap0, d.space0,
+                            policyConfig(PolicyKind::Concurrent, 1));
+    engine.addDomain(d.heap1, d.space1);
+    engine.setDomainPolicy(1, PolicyKind::StopTheWorld);
+
+    pressurize(d.space0, d.heap0, d.space0.globals().base);
+    engine.selectDomain(0);
+    engine.maybeRevoke();
+    ASSERT_TRUE(engine.epochOpen());
+    const size_t before = engine.pagesRemaining();
+    ASSERT_GT(before, 0u);
+
+    // Domain 1 pumps with no pressure of its own: one slice of
+    // domain 0's epoch advances.
+    engine.selectDomain(1);
+    engine.maybeRevoke();
+    EXPECT_LT(engine.pagesRemaining(), before);
+    engine.drain();
+    EXPECT_EQ(engine.domainTotals(0).epochs, 1u);
+    EXPECT_EQ(engine.domainTotals(1).epochs, 0u);
+}
+
+TEST(MultiDomainEpochs, BindDomainReusesRetiredSlotWithFreshTotals)
+{
+    TwoDomains d;
+    RevocationEngine engine(d.heap0, d.space0, policyConfig(
+        PolicyKind::StopTheWorld));
+    engine.addDomain(d.heap1, d.space1);
+
+    pressurize(d.space1, d.heap1, d.space1.globals().base);
+    engine.selectDomain(1);
+    engine.revokeNow();
+    ASSERT_EQ(engine.domainTotals(1).epochs, 1u);
+
+    engine.selectDomain(0);
+    engine.retireDomain(1);
+    EXPECT_TRUE(engine.domainRetired(1));
+    // Statistics of a retired slot stay readable until reuse...
+    EXPECT_EQ(engine.domainTotals(1).epochs, 1u);
+
+    // ...and restart from zero when a new tenant binds the slot.
+    mem::AddressSpace space1b(
+        d.memory, mem::AddressSpace::Layout{}.shifted(0x8000'0000ULL),
+        512 * KiB, 512 * KiB);
+    CherivokeAllocator heap1b(space1b, smallConfig());
+    EXPECT_EQ(engine.bindDomain(1, heap1b, space1b), 1u);
+    EXPECT_FALSE(engine.domainRetired(1));
+    EXPECT_EQ(engine.domainTotals(1).epochs, 0u);
+}
+
+TEST(MultiDomainEpochs, PolicyMixDeterminism)
+{
+    // Every policy pair, run twice over the same deterministic op
+    // sequence: totals must match run for run.
+    const PolicyKind kinds[] = {PolicyKind::StopTheWorld,
+                                PolicyKind::Incremental,
+                                PolicyKind::Concurrent};
+    for (const PolicyKind p0 : kinds) {
+        for (const PolicyKind p1 : kinds) {
+            auto once = [&]() {
+                TwoDomains d;
+                RevocationEngine engine(d.heap0, d.space0,
+                                        policyConfig(p0, 2));
+                engine.addDomain(d.heap1, d.space1);
+                engine.setDomainPolicy(1, p1);
+                for (int round = 0; round < 3; ++round) {
+                    pressurize(d.space0, d.heap0,
+                               d.space0.globals().base);
+                    pressurize(d.space1, d.heap1,
+                               d.space1.globals().base);
+                    for (int pump = 0; pump < 64; ++pump) {
+                        engine.selectDomain(pump & 1);
+                        engine.maybeRevoke();
+                    }
+                }
+                engine.drain();
+                return std::make_pair(engine.domainTotals(0),
+                                      engine.domainTotals(1));
+            };
+            const auto a = once();
+            const auto b = once();
+            EXPECT_EQ(a.first, b.first)
+                << policyName(p0) << "+" << policyName(p1);
+            EXPECT_EQ(a.second, b.second)
+                << policyName(p0) << "+" << policyName(p1);
+        }
+    }
+}
+
 } // namespace
 } // namespace revoke
 } // namespace cherivoke

@@ -88,6 +88,65 @@ TEST(TenantScheduler, RejectsBadWeights)
 {
     EXPECT_THROW(tenant::TenantScheduler({1.0, 0.0}), FatalError);
     EXPECT_THROW(tenant::TenantScheduler({-2.0}), FatalError);
+    // The dynamic path rejects them too, and so does the manager —
+    // at addTenant/defineTenant time, not deep inside run().
+    tenant::TenantScheduler sched({1.0});
+    EXPECT_THROW(sched.arrive(1, 0.0), FatalError);
+    EXPECT_THROW(sched.arrive(1, -1.0), FatalError);
+    tenant::TenantConfig cfg;
+    cfg.name = "zero";
+    cfg.weight = 0;
+    tenant::TenantManager manager{tenant::TenantManagerConfig{}};
+    EXPECT_THROW(manager.addTenant(cfg, workload::Trace{}),
+                 FatalError);
+}
+
+TEST(TenantScheduler, DropToOneTenantStaysSmooth)
+{
+    // Regression: when departures leave a single runnable tenant,
+    // next() must keep returning it with stable credit — each pick
+    // adds its weight and charges the (equal) runnable total, so
+    // the credit neither drifts nor underflows no matter how long
+    // the survivor runs or what weight it carries.
+    tenant::TenantScheduler sched({2.0, 1.0, 1.0});
+    for (int i = 0; i < 5; ++i)
+        sched.next();
+    sched.markDone(0);
+    sched.markDone(2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sched.next(), 1u);
+    // The survivor departing empties the rotation cleanly.
+    sched.markDone(1);
+    EXPECT_TRUE(sched.allDone());
+}
+
+TEST(TenantScheduler, ArrivalRenormalizesShares)
+{
+    // A tenant arriving mid-rotation immediately gets its
+    // proportional share: 1:1 becomes 1:1:2 and a 4-pick window
+    // serves the newcomer twice.
+    tenant::TenantScheduler sched({1.0, 1.0});
+    sched.next();
+    sched.next();
+    sched.arrive(2, 2.0);
+    size_t counts[3] = {0, 0, 0};
+    for (int i = 0; i < 16; ++i)
+        ++counts[sched.next()];
+    EXPECT_EQ(counts[0], 4u);
+    EXPECT_EQ(counts[1], 4u);
+    EXPECT_EQ(counts[2], 8u);
+
+    // Slot reuse after departure: the re-arrival starts with zero
+    // credit and the weight total is recomputed from the runnable
+    // set (never drifted incrementally).
+    sched.markDone(0);
+    sched.arrive(0, 1.0);
+    size_t counts2[3] = {0, 0, 0};
+    for (int i = 0; i < 16; ++i)
+        ++counts2[sched.next()];
+    EXPECT_EQ(counts2[0], 4u);
+    EXPECT_EQ(counts2[1], 4u);
+    EXPECT_EQ(counts2[2], 8u);
 }
 
 TEST(TenantLayout, StridedDisjointRegions)

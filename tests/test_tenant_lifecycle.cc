@@ -1,0 +1,536 @@
+/**
+ * @file
+ * Property/fuzz tier for the tenant lifecycle (ctest label: tier2).
+ *
+ * The core properties:
+ *  - slot reuse resurrects nothing: after retireTenant(), the slot's
+ *    stride and shadow window hold no resident pages, no PTEs, no
+ *    capability tags and no shadow bytes, so the next occupant is
+ *    indistinguishable from one in a never-used slot;
+ *  - randomized-but-seeded spawn/retire/op interleavings (>= 50k
+ *    trace ops) replay bit-identically: every statistic, every
+ *    lifecycle event (wall-clock excepted) is a pure function of the
+ *    seed;
+ *  - the scheduler stays smooth across re-normalisation: after any
+ *    arrival/departure sequence, a window of picks distributes turns
+ *    weight-proportionally with bounded burst error;
+ *  - lifecycle ops naming unknown tenants are fatal, as are direct
+ *    API misuses (duplicate definitions, retiring the non-live).
+ */
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "tenant/tenant_manager.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth.hh"
+
+using namespace cherivoke;
+
+namespace {
+
+/** An alloc/free-heavy trace (scale 1/512 ≈ 20k ops). */
+workload::Trace
+fuzzTrace(uint64_t seed, double scale = 1.0 / 512,
+          double duration = 2.0)
+{
+    workload::BenchmarkProfile profile =
+        workload::profileFor("dealII");
+    workload::SynthConfig cfg;
+    cfg.scale = scale;
+    cfg.durationSec = duration;
+    cfg.seed = seed;
+    return workload::synthesize(profile, cfg);
+}
+
+/** Tenant tuned so the traces above trigger several sweeps. */
+tenant::TenantConfig
+fuzzTenant(const std::string &name, double weight = 1.0)
+{
+    tenant::TenantConfig cfg;
+    cfg.name = name;
+    cfg.weight = weight;
+    cfg.alloc.quarantineFraction = 0.05;
+    cfg.alloc.minQuarantineBytes = 16 * KiB;
+    cfg.alloc.dl.initialHeapBytes = 256 * KiB;
+    cfg.alloc.dl.growthChunkBytes = 128 * KiB;
+    return cfg;
+}
+
+/** Insert lifecycle @p events (position in original op stream,
+ *  op) into @p host, stable-sorted by position. */
+void
+injectEvents(workload::Trace &host,
+             std::vector<std::pair<size_t, workload::TraceOp>> events)
+{
+    std::stable_sort(events.begin(), events.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<workload::TraceOp> merged;
+    merged.reserve(host.ops.size() + events.size());
+    size_t next = 0;
+    for (size_t i = 0; i < host.ops.size(); ++i) {
+        while (next < events.size() && events[next].first <= i)
+            merged.push_back(events[next++].second);
+        merged.push_back(host.ops[i]);
+    }
+    for (; next < events.size(); ++next)
+        merged.push_back(events[next].second);
+    host.ops = std::move(merged);
+}
+
+workload::TraceOp
+lifecycleOp(workload::OpKind kind, uint64_t id)
+{
+    workload::TraceOp op;
+    op.kind = kind;
+    op.id = id;
+    return op;
+}
+
+/** Everything deterministic a run produces, as one string. */
+std::string
+runFingerprint(const tenant::MultiTenantResult &m)
+{
+    std::string out;
+    char buf[192];
+    auto add = [&](uint64_t v) {
+        std::snprintf(buf, sizeof(buf), "%llu,",
+                      static_cast<unsigned long long>(v));
+        out += buf;
+    };
+    auto addF = [&](double v) {
+        std::snprintf(buf, sizeof(buf), "%.17g,", v);
+        out += buf;
+    };
+    add(m.totalOps);
+    add(m.allocCalls);
+    add(m.freeCalls);
+    add(m.freedBytes);
+    add(m.ptrStores);
+    add(m.spawns);
+    add(m.retires);
+    add(m.slotsReused);
+    add(m.peakAggLiveAllocs);
+    add(m.peakAggLiveBytes);
+    add(m.peakAggQuarantineBytes);
+    add(m.peakAggFootprintBytes);
+    add(m.engine.epochs);
+    add(m.engine.slices);
+    add(m.engine.paint.total());
+    add(m.engine.sweep.pagesSwept);
+    add(m.engine.sweep.capsExamined);
+    add(m.engine.sweep.capsRevoked);
+    add(m.engine.internalFrees);
+    add(m.engine.bytesReleased);
+    addF(m.virtualSeconds);
+    for (const tenant::LifecycleEvent &ev : m.lifecycle) {
+        add(ev.kind == tenant::LifecycleEvent::Kind::Spawn ? 0 : 1);
+        add(ev.tenantId);
+        add(ev.slot);
+        add(ev.step);
+        add(ev.reusedSlot ? 1 : 0);
+        add(ev.pagesReleased);
+    }
+    for (const tenant::TenantResult &t : m.tenants) {
+        add(t.tenantId);
+        add(t.index);
+        add(t.opsApplied);
+        add(t.opsTotal);
+        add(t.retiredMidRun ? 1 : 0);
+        add(t.run.allocCalls);
+        add(t.run.freeCalls);
+        add(t.run.freedBytes);
+        add(t.run.peakLiveBytes);
+        add(t.run.peakLiveAllocs);
+        add(t.run.revoker.epochs);
+        add(t.run.revoker.slices);
+        add(t.run.revoker.sweep.capsRevoked);
+        add(t.run.revoker.sweep.pagesSwept);
+        addF(t.run.virtualSeconds);
+        addF(t.run.pageDensity);
+        addF(t.run.lineDensity);
+    }
+    return out;
+}
+
+/**
+ * The randomized-but-seeded lifecycle schedule: sequential
+ * spawn→retire cycles (exercising slot reuse), one overlapped pair
+ * (two churn tenants live at once), and two spawn-only survivors.
+ */
+struct FuzzPlan
+{
+    std::vector<std::pair<size_t, workload::TraceOp>> events;
+    std::vector<uint64_t> ids; //!< every definition id used
+};
+
+FuzzPlan
+makeFuzzPlan(uint64_t seed, size_t host_ops)
+{
+    using workload::OpKind;
+    FuzzPlan plan;
+    std::mt19937_64 rng(seed);
+    auto pos = [&](size_t lo, size_t hi) {
+        return lo + rng() % (hi - lo);
+    };
+    uint64_t next_id = 2000;
+
+    // Four strictly sequential cycles: each retire lands before the
+    // next spawn, so cycles 2..4 must reuse cycle 1's slot.
+    std::vector<size_t> cuts;
+    for (int i = 0; i < 8; ++i)
+        cuts.push_back(pos(1, host_ops - 1));
+    std::sort(cuts.begin(), cuts.end());
+    for (size_t i = 0; i + 1 < cuts.size(); i += 2) {
+        const uint64_t id = next_id++;
+        plan.ids.push_back(id);
+        plan.events.emplace_back(
+            cuts[i], lifecycleOp(OpKind::SpawnTenant, id));
+        plan.events.emplace_back(
+            cuts[i + 1] + 1, lifecycleOp(OpKind::RetireTenant, id));
+    }
+
+    // One overlapped pair: spawn A, spawn B, retire A, retire B.
+    std::vector<size_t> ov;
+    for (int i = 0; i < 4; ++i)
+        ov.push_back(pos(1, host_ops - 1));
+    std::sort(ov.begin(), ov.end());
+    const uint64_t a = next_id++, b = next_id++;
+    plan.ids.push_back(a);
+    plan.ids.push_back(b);
+    plan.events.emplace_back(ov[0],
+                             lifecycleOp(OpKind::SpawnTenant, a));
+    plan.events.emplace_back(ov[1] + 1,
+                             lifecycleOp(OpKind::SpawnTenant, b));
+    plan.events.emplace_back(ov[2] + 2,
+                             lifecycleOp(OpKind::RetireTenant, a));
+    plan.events.emplace_back(ov[3] + 3,
+                             lifecycleOp(OpKind::RetireTenant, b));
+
+    // Two survivors: spawned, never retired.
+    for (int i = 0; i < 2; ++i) {
+        const uint64_t id = next_id++;
+        plan.ids.push_back(id);
+        plan.events.emplace_back(
+            pos(1, host_ops - 1),
+            lifecycleOp(OpKind::SpawnTenant, id));
+    }
+    return plan;
+}
+
+tenant::MultiTenantResult
+runFuzzOnce(uint64_t seed)
+{
+    // Three static tenants (~60k host ops in total) carry the run;
+    // tenant 0's trace additionally drives the lifecycle schedule.
+    workload::Trace host = fuzzTrace(101 + seed);
+    const FuzzPlan plan = makeFuzzPlan(seed, host.ops.size());
+    injectEvents(host, plan.events);
+
+    tenant::TenantManagerConfig mgr_cfg;
+    mgr_cfg.engine.pagesPerSlice = 16;
+    tenant::TenantManager manager(mgr_cfg);
+    manager.addTenant(fuzzTenant("host", 2.0), host);
+    manager.addTenant(fuzzTenant("peer-a"), fuzzTrace(102 + seed));
+    manager.addTenant(fuzzTenant("peer-b"), fuzzTrace(103 + seed));
+
+    // All churn definitions share one short trace; half of them run
+    // the concurrent policy so open epochs meet retirement.
+    const workload::Trace churn = fuzzTrace(991, 1.0 / 512, 0.2);
+    for (size_t i = 0; i < plan.ids.size(); ++i) {
+        tenant::TenantConfig cfg =
+            fuzzTenant("churn#" + std::to_string(i));
+        if (i % 2 == 1)
+            cfg.policy = revoke::PolicyKind::Concurrent;
+        manager.defineTenant(plan.ids[i], cfg, churn);
+    }
+    return manager.run();
+}
+
+} // namespace
+
+TEST(TenantLifecycleFuzz, SeededInterleavingsReplayBitIdentically)
+{
+    for (const uint64_t seed : {7ULL, 23ULL}) {
+        const tenant::MultiTenantResult x = runFuzzOnce(seed);
+        const tenant::MultiTenantResult y = runFuzzOnce(seed);
+
+        // >= 50k interleaved trace ops actually ran.
+        EXPECT_GE(x.totalOps, 50000u);
+        // The schedule exercised arrivals, departures and reuse.
+        EXPECT_GE(x.retires, 6u);
+        EXPECT_GE(x.slotsReused, 3u);
+        // Survivors and retirees both report.
+        EXPECT_EQ(x.tenants.size(), 3u + 8u);
+
+        EXPECT_EQ(runFingerprint(x), runFingerprint(y))
+            << "seed " << seed;
+    }
+}
+
+TEST(TenantLifecycleFuzz, SlotReuseResurrectsNothing)
+{
+    tenant::TenantManagerConfig mgr_cfg;
+    mgr_cfg.engine.pagesPerSlice = 4;
+    tenant::TenantManager manager(mgr_cfg);
+    manager.addTenant(fuzzTenant("keeper"), workload::Trace{});
+
+    // The victim runs the concurrent policy so we can retire it with
+    // an epoch open (the drain-at-teardown path).
+    tenant::TenantConfig vic_cfg = fuzzTenant("victim");
+    vic_cfg.policy = revoke::PolicyKind::Concurrent;
+    const size_t slot =
+        manager.addTenant(vic_cfg, workload::Trace{});
+    ASSERT_EQ(slot, 1u);
+    tenant::Tenant &victim = manager.tenant(slot);
+
+    // Populate the victim's image: live caps in globals and heap,
+    // freed caps in quarantine, shadow bytes painted by an open
+    // epoch.
+    std::vector<cap::Capability> caps;
+    for (int i = 0; i < 128; ++i) {
+        const cap::Capability c = victim.allocator().malloc(256);
+        manager.memory().writeCap(
+            victim.space().globals().base +
+                static_cast<uint64_t>(i) * 16,
+            c);
+        manager.memory().storeCap(c, c.base(), c);
+        caps.push_back(c);
+    }
+    for (size_t i = 0; i < caps.size(); i += 2)
+        victim.allocator().free(caps[i]);
+
+    manager.engine().selectDomain(slot);
+    manager.engine().maybeRevoke();
+    ASSERT_TRUE(manager.engine().epochOpen());
+    ASSERT_EQ(manager.engine().epochDomainIndex(), slot);
+
+    // Sample addresses that are definitely populated right now
+    // (slot 1 of the globals holds caps[1], which stayed live — the
+    // open epoch may already have revoked the freed caps).
+    const uint64_t heap_addr = caps[1].base();
+    const uint64_t globals_addr =
+        victim.space().globals().base + 16;
+    const auto [shadow_lo, shadow_hi] =
+        tenant::shadowWindowForTenant(slot);
+    const uint64_t shadow_addr = mem::shadowAddrOf(caps[0].base());
+    ASSERT_GE(shadow_addr, shadow_lo);
+    ASSERT_LT(shadow_addr, shadow_hi);
+    ASSERT_TRUE(manager.memory().readTag(globals_addr));
+    ASSERT_NE(manager.memory().peekU8(shadow_addr), 0)
+        << "open epoch must have painted the freed run";
+    ASSERT_NE(manager.memory().pageIfPresent(heap_addr), nullptr);
+
+    const size_t resident_before = manager.memory().residentPages();
+    manager.retireTenant(1);
+
+    // The epoch was drained, the domain retired, the slot freed.
+    EXPECT_FALSE(manager.engine().epochOpen());
+    EXPECT_TRUE(manager.engine().domainRetired(slot));
+    EXPECT_EQ(manager.freeSlotCount(), 1u);
+    EXPECT_FALSE(manager.tenantLive(1));
+
+    // Nothing of the victim survives: no residency, no PTEs, no
+    // tags, no shadow bytes, anywhere in the slot's stride or its
+    // shadow window.
+    EXPECT_LT(manager.memory().residentPages(), resident_before);
+    EXPECT_EQ(manager.memory().pageIfPresent(heap_addr), nullptr);
+    EXPECT_EQ(manager.memory().pageIfPresent(globals_addr), nullptr);
+    EXPECT_EQ(manager.memory().pageIfPresent(shadow_addr), nullptr);
+    EXPECT_FALSE(manager.memory().pageTable().isMapped(heap_addr));
+    EXPECT_FALSE(
+        manager.memory().pageTable().isMapped(globals_addr));
+    EXPECT_FALSE(manager.memory().pageTable().isMapped(shadow_addr));
+    EXPECT_FALSE(manager.memory().readTag(globals_addr));
+    EXPECT_EQ(manager.memory().peekU8(shadow_addr), 0);
+    for (uint64_t addr = slot * tenant::kTenantStride;
+         addr < (slot + 1) * tenant::kTenantStride;
+         addr += tenant::kTenantStride / 64) {
+        EXPECT_EQ(manager.memory().pageIfPresent(addr), nullptr);
+    }
+
+    // A new tenant spawned into the slot starts from scratch.
+    manager.defineTenant(7, fuzzTenant("reuser"), workload::Trace{});
+    EXPECT_EQ(manager.spawnTenant(7), slot);
+    tenant::Tenant &reuser = manager.tenant(slot);
+    const cap::Capability fresh = reuser.allocator().malloc(64);
+    EXPECT_EQ(manager.memory().readU64(fresh.base()), 0u);
+    EXPECT_FALSE(manager.engine().domainRetired(slot));
+    EXPECT_EQ(manager.engine().domainTotals(slot).epochs, 0u);
+}
+
+TEST(TenantLifecycleFuzz, UnknownIdsAndMisuseAreFatal)
+{
+    using workload::OpKind;
+
+    // Direct API misuse.
+    {
+        tenant::TenantManager manager{tenant::TenantManagerConfig{}};
+        manager.addTenant(fuzzTenant("a"), workload::Trace{});
+        EXPECT_THROW(manager.retireTenant(99), FatalError);
+        EXPECT_THROW(manager.spawnTenant(99), FatalError);
+        manager.defineTenant(50, fuzzTenant("d"), workload::Trace{});
+        EXPECT_THROW(manager.defineTenant(50, fuzzTenant("d"),
+                                          workload::Trace{}),
+                     FatalError);
+        // Id 0 already names the live static tenant.
+        EXPECT_THROW(manager.defineTenant(0, fuzzTenant("d"),
+                                          workload::Trace{}),
+                     FatalError);
+        manager.spawnTenant(50);
+        EXPECT_THROW(manager.spawnTenant(50), FatalError);
+        // Zero and negative weights are rejected up front.
+        tenant::TenantConfig zero = fuzzTenant("z");
+        zero.weight = 0;
+        EXPECT_THROW(manager.addTenant(zero, workload::Trace{}),
+                     FatalError);
+        EXPECT_THROW(manager.defineTenant(60, zero,
+                                          workload::Trace{}),
+                     FatalError);
+    }
+
+    // Trace ops naming unknown tenants fail the replay.
+    {
+        workload::Trace host = fuzzTrace(55, 1.0 / 512, 0.1);
+        injectEvents(host, {{host.ops.size() / 2,
+                             lifecycleOp(OpKind::SpawnTenant, 777)}});
+        tenant::TenantManager manager{tenant::TenantManagerConfig{}};
+        manager.addTenant(fuzzTenant("host"), host);
+        EXPECT_THROW(manager.run(), FatalError);
+    }
+    {
+        workload::Trace host = fuzzTrace(56, 1.0 / 512, 0.1);
+        injectEvents(host,
+                     {{host.ops.size() / 2,
+                       lifecycleOp(OpKind::RetireTenant, 778)}});
+        tenant::TenantManager manager{tenant::TenantManagerConfig{}};
+        manager.addTenant(fuzzTenant("host"), host);
+        EXPECT_THROW(manager.run(), FatalError);
+    }
+}
+
+TEST(TenantLifecycleFuzz, RetiredMidRunResultsAreCaptured)
+{
+    using workload::OpKind;
+    workload::Trace host = fuzzTrace(61);
+    // Spawn early, retire late: the churn tenant's trace is larger
+    // than its window, so it is cut off mid-trace.
+    injectEvents(host,
+                 {{10, lifecycleOp(OpKind::SpawnTenant, 3000)},
+                  {host.ops.size() / 2,
+                   lifecycleOp(OpKind::RetireTenant, 3000)}});
+
+    tenant::TenantManager manager{tenant::TenantManagerConfig{}};
+    manager.addTenant(fuzzTenant("host"), host);
+    manager.defineTenant(3000, fuzzTenant("cut-short"),
+                         fuzzTrace(62));
+    const tenant::MultiTenantResult result = manager.run();
+
+    ASSERT_EQ(result.tenants.size(), 2u);
+    const tenant::TenantResult &cut = result.tenants[0];
+    EXPECT_EQ(cut.tenantId, 3000u);
+    EXPECT_TRUE(cut.retiredMidRun);
+    EXPECT_GT(cut.opsApplied, 0u);
+    EXPECT_LT(cut.opsApplied, cut.opsTotal);
+    EXPECT_GT(cut.run.allocCalls, 0u);
+    // Its counters joined the aggregates.
+    EXPECT_EQ(result.allocCalls, result.tenants[0].run.allocCalls +
+                                     result.tenants[1].run.allocCalls);
+    // And the lifecycle log shows the arrival and departure.
+    ASSERT_GE(result.lifecycle.size(), 3u);
+    EXPECT_EQ(result.retires, 1u);
+    bool saw_retire = false;
+    for (const tenant::LifecycleEvent &ev : result.lifecycle) {
+        if (ev.kind == tenant::LifecycleEvent::Kind::Retire) {
+            saw_retire = true;
+            EXPECT_EQ(ev.tenantId, 3000u);
+            EXPECT_GT(ev.pagesReleased, 0u);
+            EXPECT_GT(ev.step, 0u);
+        }
+    }
+    EXPECT_TRUE(saw_retire);
+}
+
+TEST(TenantLifecycleFuzz, SchedulerSmoothAcrossRenormalization)
+{
+    // Seeded fuzz over arrive/markDone/next: after every membership
+    // change, a pick window must distribute turns proportionally to
+    // weight (bounded burst error), and the whole pick sequence must
+    // be a pure function of the seed.
+    for (const uint64_t seed : {11ULL, 42ULL}) {
+        auto once = [&](std::vector<size_t> &picks) {
+            std::mt19937_64 rng(seed);
+            tenant::TenantScheduler sched;
+            std::vector<double> weights;
+            auto window = [&]() {
+                if (sched.allDone())
+                    return;
+                // One full rotation per unit weight.
+                double total = 0;
+                std::vector<size_t> counts(weights.size(), 0);
+                for (size_t i = 0; i < weights.size(); ++i) {
+                    if (sched.isRunnable(i))
+                        total += weights[i];
+                }
+                const size_t picks_n =
+                    static_cast<size_t>(total * 8);
+                for (size_t p = 0; p < picks_n; ++p) {
+                    const size_t w = sched.next();
+                    picks.push_back(w);
+                    ++counts[w];
+                }
+                for (size_t i = 0; i < weights.size(); ++i) {
+                    if (!sched.isRunnable(i))
+                        continue;
+                    const double expect =
+                        picks_n * weights[i] / total;
+                    EXPECT_NEAR(counts[i], expect, 1.0 + 1e-9)
+                        << "tenant " << i << " seed " << seed;
+                }
+            };
+
+            for (int step = 0; step < 40; ++step) {
+                const bool can_remove = sched.activeCount() > 0;
+                if (!can_remove || rng() % 3 != 0) {
+                    // Arrive: new slot, or reuse a done one.
+                    const double w =
+                        static_cast<double>(1 + rng() % 4);
+                    size_t slot = sched.size();
+                    for (size_t i = 0; i < sched.size(); ++i) {
+                        if (!sched.isRunnable(i) && rng() % 2 == 0) {
+                            slot = i;
+                            break;
+                        }
+                    }
+                    if (slot == sched.size())
+                        weights.push_back(w);
+                    else
+                        weights[slot] = w;
+                    sched.arrive(slot, w);
+                } else {
+                    // Depart a runnable tenant.
+                    std::vector<size_t> runnable;
+                    for (size_t i = 0; i < sched.size(); ++i) {
+                        if (sched.isRunnable(i))
+                            runnable.push_back(i);
+                    }
+                    sched.markDone(
+                        runnable[rng() % runnable.size()]);
+                }
+                window();
+            }
+        };
+        std::vector<size_t> picks_a, picks_b;
+        once(picks_a);
+        once(picks_b);
+        EXPECT_EQ(picks_a, picks_b) << "seed " << seed;
+        EXPECT_GT(picks_a.size(), 100u);
+    }
+}

@@ -211,3 +211,108 @@ TEST(TraceCodec, RejectsMalformedInput)
     EXPECT_THROW(tenant::loadTraceFile("/nonexistent/x.cvt"),
                  FatalError);
 }
+
+// ---- v2 (tenant lifecycle) records -----------------------------
+
+namespace {
+
+Trace
+lifecycleTrace()
+{
+    Trace trace = sampleTrace();
+    TraceOp spawn;
+    spawn.kind = OpKind::SpawnTenant;
+    spawn.id = 1000;
+    spawn.dt = 0.001;
+    TraceOp retire;
+    retire.kind = OpKind::RetireTenant;
+    retire.id = 1000;
+    trace.ops.insert(trace.ops.begin() + 2, spawn);
+    trace.ops.push_back(retire);
+    return trace;
+}
+
+uint32_t
+headerVersion(const std::vector<uint8_t> &bytes)
+{
+    uint32_t v;
+    std::memcpy(&v, &bytes[8], sizeof(v));
+    return v;
+}
+
+} // namespace
+
+TEST(TraceCodecV2, ClassicTracesStillEncodeAsV1ByteIdentically)
+{
+    // A pre-lifecycle trace keeps its exact v1 image: same version
+    // byte, and decode → re-encode reproduces the input bytes, so
+    // every trace file recorded before the lifecycle ops existed
+    // still loads and round-trips unchanged.
+    const Trace classic = sampleTrace();
+    const std::vector<uint8_t> bytes = tenant::encodeTrace(classic);
+    EXPECT_EQ(headerVersion(bytes), tenant::kTraceVersionClassic);
+    const Trace decoded = tenant::decodeTrace(bytes);
+    EXPECT_TRUE(opsIdentical(classic, decoded));
+    EXPECT_EQ(tenant::encodeTrace(decoded), bytes);
+}
+
+TEST(TraceCodecV2, LifecycleTracesRoundTripAsV2)
+{
+    const Trace trace = lifecycleTrace();
+    const std::vector<uint8_t> bytes = tenant::encodeTrace(trace);
+    EXPECT_EQ(headerVersion(bytes), tenant::kTraceVersionLifecycle);
+    const Trace decoded = tenant::decodeTrace(bytes);
+    EXPECT_TRUE(opsIdentical(trace, decoded));
+    EXPECT_EQ(decoded.ops[2].kind, OpKind::SpawnTenant);
+    EXPECT_EQ(decoded.ops[2].id, 1000u);
+    EXPECT_TRUE(decoded.hasLifecycleOps());
+    // Canonical: re-encode is byte-identical.
+    EXPECT_EQ(tenant::encodeTrace(decoded), bytes);
+    // The text format carries the new ops too.
+    std::ostringstream os;
+    trace.save(os);
+    std::istringstream is(os.str());
+    EXPECT_TRUE(opsIdentical(trace, Trace::load(is)));
+}
+
+TEST(TraceCodecV2, RejectsMalformedLifecycleInput)
+{
+    const Trace trace = lifecycleTrace();
+    std::vector<uint8_t> bytes = tenant::encodeTrace(trace);
+
+    // Truncated v2 records.
+    EXPECT_THROW(tenant::decodeTrace(bytes.data(), bytes.size() - 1),
+                 FatalError);
+    EXPECT_THROW(tenant::decodeTrace(bytes.data(),
+                                     tenant::kTraceHeaderBytes - 4),
+                 FatalError);
+    // Bad version.
+    {
+        std::vector<uint8_t> bad = bytes;
+        bad[8] = 3;
+        EXPECT_THROW(tenant::decodeTrace(bad), FatalError);
+    }
+    // A lifecycle record inside a v1 stream is corruption: v1
+    // predates the op kinds.
+    {
+        std::vector<uint8_t> bad = bytes;
+        bad[8] = 1;
+        EXPECT_THROW(tenant::decodeTrace(bad), FatalError);
+    }
+    // An op kind beyond v2's limit.
+    {
+        std::vector<uint8_t> bad = bytes;
+        bad[tenant::kTraceHeaderBytes] = workload::kMaxOpKind + 1;
+        EXPECT_THROW(tenant::decodeTrace(bad), FatalError);
+    }
+}
+
+TEST(TraceCodecV2, LifecycleOpsOutsideATenantManagerAreFatal)
+{
+    // A classic single-process replay cannot give SpawnTenant any
+    // meaning: replaying a decoded v2 trace without a TenantManager
+    // must fail, not silently skip.
+    const Trace decoded =
+        tenant::decodeTrace(tenant::encodeTrace(lifecycleTrace()));
+    EXPECT_THROW(replay(decoded), FatalError);
+}
