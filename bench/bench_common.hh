@@ -51,6 +51,10 @@ printSystems(const char *title)
  *                              (mixed policies share one engine)
  *   CHERIVOKE_TENANT_CHURN   = mid-run spawn->retire cycles of
  *                              short-lived extra tenants (default 0)
+ *   CHERIVOKE_MUTATOR_THREADS= mutator threads per tenant (default
+ *                              1 = the classic serial front-end)
+ *   CHERIVOKE_REMOTE_BATCH   = remote frees per batch message on
+ *                              the MPSC queues (default 32)
  *
  * Parsing is strict (support/env.hh): a set-but-malformed value such
  * as CHERIVOKE_THREADS=abc fails the run with a clear error instead
@@ -114,6 +118,10 @@ defaultConfig()
     }
     cfg.tenantChurn = static_cast<unsigned>(
         envI64("CHERIVOKE_TENANT_CHURN", cfg.tenantChurn, 0));
+    cfg.mutatorThreads = static_cast<unsigned>(
+        envI64("CHERIVOKE_MUTATOR_THREADS", cfg.mutatorThreads));
+    cfg.remoteBatch = static_cast<unsigned>(
+        envI64("CHERIVOKE_REMOTE_BATCH", cfg.remoteBatch));
     return cfg;
 }
 

@@ -356,6 +356,12 @@ RevocationEngine::beginEpoch()
 
     worklist_ = sweeper_.buildWorklist(*dom.space, epoch_.sweep);
     next_ = 0;
+
+    // The revocation set is now frozen: let observers (the mutator
+    // front-end's epoch-boundary recorder) mark the spot where their
+    // threads must flush and drain remote-free traffic.
+    if (epoch_open_hook_)
+        epoch_open_hook_(epoch_domain_);
 }
 
 size_t

@@ -51,6 +51,7 @@
 #define CHERIVOKE_REVOKE_REVOCATION_ENGINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -304,6 +305,19 @@ class RevocationEngine
     /** True while an epoch is open. */
     bool epochOpen() const { return open_; }
 
+    /**
+     * Observe every epoch open: @p hook fires inside beginEpoch()
+     * (after the revocation set is frozen) with the epoch's domain
+     * index. The multi-threaded mutator front-end uses this to record
+     * epoch boundaries in each tenant's replay, where its threads
+     * must flush and drain their remote-free queues — no remote free
+     * may be in flight against a frozen revocation set.
+     */
+    void setEpochOpenHook(std::function<void(size_t domain)> hook)
+    {
+        epoch_open_hook_ = std::move(hook);
+    }
+
     /** Pages remaining in the open epoch's worklist. */
     size_t pagesRemaining() const { return worklist_.size() - next_; }
     /// @}
@@ -344,6 +358,8 @@ class RevocationEngine
     std::vector<Domain> domains_;
     size_t active_ = 0;       //!< domain new epochs bind to
     size_t epoch_domain_ = 0; //!< domain of the open epoch
+    /** Fired by beginEpoch() with the epoch's domain (may be null). */
+    std::function<void(size_t)> epoch_open_hook_;
     Sweeper sweeper_;
     EngineConfig config_;
     std::unique_ptr<RevocationPolicy> policy_;

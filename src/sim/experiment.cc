@@ -357,6 +357,8 @@ runMultiTenantBenchmark(const workload::BenchmarkProfile &profile,
     tenant::TenantManagerConfig mgr_cfg;
     mgr_cfg.engine = engineConfigFor(config);
     mgr_cfg.scope = config.tenantScope;
+    mgr_cfg.mutator.threads = config.mutatorThreads;
+    mgr_cfg.mutator.remoteBatch = config.remoteBatch;
     tenant::TenantManager manager(mgr_cfg);
 
     for (unsigned i = 0; i < config.tenants; ++i) {

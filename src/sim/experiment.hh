@@ -87,6 +87,17 @@ struct ExperimentConfig
      *  mid-run arrival/departure and slot reuse. */
     unsigned tenantChurn = 0;
     /// @}
+
+    /** @name Multi-threaded mutator front-end
+     *  (CHERIVOKE_MUTATOR_THREADS / CHERIVOKE_REMOTE_BATCH) */
+    /// @{
+    /** Mutator threads per tenant; 1 = the classic serial
+     *  front-end. Modelled statistics are bit-identical across
+     *  thread counts (gated in tests and bench/mutator_contention). */
+    unsigned mutatorThreads = 1;
+    /** Remote frees per batch message on the MPSC queues. */
+    unsigned remoteBatch = 32;
+    /// @}
 };
 
 /** Everything one benchmark run produces. */

@@ -1,0 +1,110 @@
+#include "tenant/remote_queue.hh"
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace tenant {
+
+RemoteFreeQueue::RemoteFreeQueue()
+    : back_(&stub_), front_(&stub_), stub_(0, 0)
+{}
+
+RemoteFreeQueue::~RemoteFreeQueue()
+{
+    // A correct shutdown drains the queue first (teardown contract);
+    // delete whatever a failed run left behind so error paths do not
+    // leak. The stub may sit anywhere in the remaining chain.
+    FreeBatch *node = front_;
+    while (node) {
+        FreeBatch *next = node->next.load(std::memory_order_acquire);
+        if (node != &stub_)
+            delete node;
+        node = next;
+    }
+}
+
+void
+RemoteFreeQueue::push(FreeBatch *node)
+{
+    node->next.store(nullptr, std::memory_order_relaxed);
+    FreeBatch *prev =
+        back_.exchange(node, std::memory_order_acq_rel);
+    // The queue is transiently split until this store lands; the
+    // consumer observes that as "empty or in flight" and retries.
+    prev->next.store(node, std::memory_order_release);
+}
+
+void
+RemoteFreeQueue::enqueue(std::unique_ptr<FreeBatch> batch)
+{
+    CHERIVOKE_ASSERT(batch != nullptr);
+    // Count before publishing so a quiesced drained() check never
+    // reads "drained" while the node is still reachable only through
+    // the producer.
+    enqueued_.fetch_add(1, std::memory_order_release);
+    push(batch.release());
+}
+
+std::unique_ptr<FreeBatch>
+RemoteFreeQueue::tryDequeue()
+{
+    FreeBatch *head = front_;
+    FreeBatch *next = head->next.load(std::memory_order_acquire);
+    if (head == &stub_) {
+        if (!next)
+            return nullptr; // empty (or producer mid-publish)
+        front_ = next;
+        head = next;
+        next = head->next.load(std::memory_order_acquire);
+    }
+    if (next) {
+        front_ = next;
+        ++dequeued_;
+        return std::unique_ptr<FreeBatch>(head);
+    }
+    // head looks like the last node. If a producer has already
+    // exchanged back_ but not yet linked, the chain is split: retry
+    // later rather than detaching a node a producer still points at.
+    if (back_.load(std::memory_order_acquire) != head)
+        return nullptr;
+    // Recycle the stub behind head so head can be detached.
+    push(&stub_);
+    next = head->next.load(std::memory_order_acquire);
+    if (next) {
+        front_ = next;
+        ++dequeued_;
+        return std::unique_ptr<FreeBatch>(head);
+    }
+    return nullptr; // another producer slipped in mid-publish
+}
+
+RemoteSender::RemoteSender(unsigned producer, RemoteFreeQueue &dest,
+                           size_t batch_capacity)
+    : producer_(producer), dest_(&dest), capacity_(batch_capacity)
+{
+    CHERIVOKE_ASSERT(batch_capacity > 0);
+}
+
+void
+RemoteSender::send(const RemoteFree &f)
+{
+    if (!pending_)
+        pending_ = std::make_unique<FreeBatch>(producer_, capacity_);
+    pending_->entries.push_back(f);
+    if (pending_->entries.size() >= capacity_)
+        flush();
+}
+
+void
+RemoteSender::flush()
+{
+    if (!pending_ || pending_->entries.empty())
+        return;
+    pending_->seq = next_seq_++;
+    sent_entries_ += pending_->entries.size();
+    ++sent_batches_;
+    dest_->enqueue(std::move(pending_));
+}
+
+} // namespace tenant
+} // namespace cherivoke

@@ -140,6 +140,14 @@ TenantManager::activate(uint64_t id, const TenantConfig &config,
         CHERIVOKE_ASSERT(slot == 0);
         engine_ = std::make_unique<revoke::RevocationEngine>(
             t->allocator(), t->space(), config_.engine);
+        // Route every epoch open to the owning tenant's replayer:
+        // the recorded boundary is where that tenant's mutator
+        // threads must flush + drain their remote-free queues
+        // (domain index == slot index by construction).
+        engine_->setEpochOpenHook([this](size_t domain) {
+            if (domain < slots_.size() && slots_[domain].replayer)
+                slots_[domain].replayer->noteEpochBoundary();
+        });
     } else {
         engine_->bindDomain(slot, t->allocator(), t->space());
     }
@@ -247,6 +255,12 @@ TenantManager::captureResult(size_t slot, bool retired_mid_run)
     tr.retiredMidRun = retired_mid_run;
     tr.run = s.replayer->finish(hierarchy_);
     tr.run.revoker = engine_->domainTotals(slot);
+    // Race the applied prefix across the configured mutator threads
+    // with the epoch boundaries this replay actually hit. Purely
+    // additive: the modelled statistics above never depend on it.
+    tr.mutator = runMutatorRace(s.tenant->trace(), tr.opsApplied,
+                                config_.mutator,
+                                s.replayer->epochOpenOps());
     return tr;
 }
 
@@ -467,6 +481,17 @@ TenantManager::run(cache::Hierarchy *hierarchy)
             static_cast<double>(tr.run.revoker.sweep.pagesSwept));
         result.tenantPeakLiveAllocs.add(
             static_cast<double>(tr.run.peakLiveAllocs));
+        result.mutatorLocalFrees += tr.mutator.localFrees;
+        result.mutatorRemoteFrees += tr.mutator.remoteFrees;
+        result.mutatorBatches += tr.mutator.batches;
+        result.mutatorEpochBarriers += tr.mutator.epochBarriers;
+    }
+    // Fold the per-tenant race fingerprints (FNV-1a over the
+    // result-order sequence, seeded with the offset basis).
+    result.mutatorFingerprint = 0xcbf29ce484222325ULL;
+    for (const TenantResult &tr : result.tenants) {
+        result.mutatorFingerprint ^= tr.mutator.fingerprint();
+        result.mutatorFingerprint *= 0x100000001b3ULL;
     }
     result.totalOps = steps_;
     result.lifecycle = events_;

@@ -67,6 +67,7 @@
 #include "mem/addr_space.hh"
 #include "revoke/revocation_engine.hh"
 #include "stats/summary.hh"
+#include "tenant/mutator_threads.hh"
 #include "tenant/scheduler.hh"
 #include "workload/driver.hh"
 
@@ -157,6 +158,12 @@ struct TenantResult
     /** Per-tenant driver statistics; .revoker holds this tenant's
      *  domain totals, not the engine-wide aggregate. */
     workload::DriverResult run;
+    /** The multi-threaded mutator front-end's race over this
+     *  tenant's applied trace prefix (config.mutator threads,
+     *  epoch boundaries from the replay). The race never feeds back
+     *  into `run`: modelled statistics are bit-identical across
+     *  thread counts by construction. */
+    MutatorRaceResult mutator;
 };
 
 /** One tenant arrival or departure, as it was applied. */
@@ -198,6 +205,18 @@ struct MultiTenantResult
     uint64_t ptrStores = 0;
     /// @}
 
+    /** @name Mutator front-end aggregates (sum over tenants).
+     *  Deterministic functions of traces + MutatorConfig; the
+     *  fingerprint folds every tenant's race fingerprint in result
+     *  order, so two runs of one configuration must match exactly. */
+    /// @{
+    uint64_t mutatorLocalFrees = 0;
+    uint64_t mutatorRemoteFrees = 0;
+    uint64_t mutatorBatches = 0;
+    uint64_t mutatorEpochBarriers = 0;
+    uint64_t mutatorFingerprint = 0;
+    /// @}
+
     /** @name Tenant-lifecycle log (spawn/retire mid-run) */
     /// @{
     std::vector<LifecycleEvent> lifecycle;
@@ -236,6 +255,10 @@ struct TenantManagerConfig
 {
     revoke::EngineConfig engine{};
     RevocationScope scope = RevocationScope::PerTenant;
+    /** Mutator front-end fan-out applied to every tenant's replay
+     *  (threads == 1: the classic serial front-end, no message
+     *  traffic, race run inline). */
+    MutatorConfig mutator{};
 };
 
 /** Aggregate-byte-peak sampling period, in scheduler steps. */

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "alloc/cherivoke_alloc.hh"
 #include "cache/hierarchy.hh"
@@ -126,6 +127,23 @@ class TraceReplayer
     /** Results accumulated so far (peaks, counters; not yet rates). */
     const DriverResult &partial() const { return result_; }
 
+    /**
+     * Record a revocation-epoch boundary at the current replay
+     * position (called from the engine's epoch-open hook, so the
+     * recorded value is the number of ops applied when the epoch's
+     * revocation set froze). The multi-threaded mutator front-end
+     * replays these as flush+drain barriers.
+     */
+    void noteEpochBoundary() { epoch_ops_.push_back(next_); }
+
+    /** Op indices at which revocation epochs opened, in replay
+     *  order (non-decreasing; duplicates possible when an epoch
+     *  opens twice at one op, e.g. drain-then-revoke). */
+    const std::vector<uint64_t> &epochOpenOps() const
+    {
+        return epoch_ops_;
+    }
+
   private:
     void pumpEngine(cache::Hierarchy *hierarchy);
     void trackPeaks();
@@ -148,6 +166,8 @@ class TraceReplayer
     double line_density_acc_ = 0;
     size_t next_ = 0;
     bool finished_ = false;
+    /** Replay positions (ops applied) of every epoch open. */
+    std::vector<uint64_t> epoch_ops_;
 };
 
 /** Replays traces against an allocator + revocation engine. */
