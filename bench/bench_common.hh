@@ -55,6 +55,16 @@ printSystems(const char *title)
  *                              1 = the classic serial front-end)
  *   CHERIVOKE_REMOTE_BATCH   = remote frees per batch message on
  *                              the MPSC queues (default 32)
+ *   CHERIVOKE_FAULT_PLAN     = chaos schedule `kind@tenant:op[,...]`
+ *                              (kinds: double-free, wild-free,
+ *                              header-corruption, oom,
+ *                              codec-corruption); default none
+ *   CHERIVOKE_FAULT_SEED     = seed a generated plan (one injection
+ *                              per kind) instead; 0 = off. The
+ *                              explicit plan wins when both are set
+ *   CHERIVOKE_PAGE_BUDGET_MIB= soft resident-page budget over the
+ *                              shared tenant memory, in MiB
+ *                              (escalation ladder; default 0 = off)
  *
  * Parsing is strict (support/env.hh): a set-but-malformed value such
  * as CHERIVOKE_THREADS=abc fails the run with a clear error instead
@@ -122,6 +132,14 @@ defaultConfig()
         envI64("CHERIVOKE_MUTATOR_THREADS", cfg.mutatorThreads));
     cfg.remoteBatch = static_cast<unsigned>(
         envI64("CHERIVOKE_REMOTE_BATCH", cfg.remoteBatch));
+    if (const char *plan = std::getenv("CHERIVOKE_FAULT_PLAN")) {
+        parseFaultPlan(plan); // strict: reject malformed text here
+        cfg.faultPlanText = plan;
+    }
+    cfg.faultSeed = static_cast<uint64_t>(
+        envI64("CHERIVOKE_FAULT_SEED", 0, 0));
+    cfg.pageBudgetMiB =
+        envF64("CHERIVOKE_PAGE_BUDGET_MIB", cfg.pageBudgetMiB, 0);
     return cfg;
 }
 

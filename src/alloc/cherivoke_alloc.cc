@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "support/bitops.hh"
+#include "support/fault.hh"
 #include "support/logging.hh"
 
 namespace cherivoke {
@@ -106,7 +107,8 @@ CherivokeAllocator::realloc(const cap::Capability &capability,
                             uint64_t new_size)
 {
     if (!capability.tag())
-        fatal("realloc() through an untagged capability");
+        heapFault(HeapFaultKind::WildFree,
+                  "realloc() through an untagged capability");
     const uint64_t old_payload = capability.base();
     const uint64_t old_usable = dl_.usableSize(old_payload);
     cap::Capability fresh = dl_.malloc(new_size);

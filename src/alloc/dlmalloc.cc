@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/bitops.hh"
+#include "support/fault.hh"
 #include "support/logging.hh"
 
 namespace cherivoke {
@@ -309,8 +310,40 @@ void
 DlAllocator::free(const Capability &capability)
 {
     if (!capability.tag())
-        fatal("free() through an untagged capability");
+        heapFault(HeapFaultKind::WildFree,
+                  "free() through an untagged capability");
     freeAddr(capability.base());
+}
+
+// Validate a free/realloc target: wild addresses and smashed
+// boundary tags are tenant-input faults (HeapFault), never fatal —
+// a multi-tenant host retires just the offending tenant. The bounds
+// check runs before the chunk view exists so a wild address never
+// touches (or materialises) memory outside the heap.
+ChunkView
+DlAllocator::checkedFreeView(uint64_t addr) const
+{
+    if (addr < heap_base_ || addr >= top_ ||
+        !isAligned(addr, kGranuleBytes)) {
+        heapFault(HeapFaultKind::WildFree,
+                  "free() of address 0x%llx outside the heap",
+                  static_cast<unsigned long long>(addr));
+    }
+    ChunkView c = view(addr);
+    const uint64_t size = c.size();
+    if (size < kMinChunk || !isAligned(size, kGranuleBytes) ||
+        addr + size > top_) {
+        heapFault(HeapFaultKind::HeaderCorruption,
+                  "chunk 0x%llx has a corrupt boundary tag "
+                  "(size %llu)",
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(size));
+    }
+    if (!c.cinuse() || c.quarantined())
+        heapFault(HeapFaultKind::DoubleFree,
+                  "invalid or double free of chunk 0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return c;
 }
 
 void
@@ -318,13 +351,7 @@ DlAllocator::freeAddr(uint64_t payload)
 {
     counters_.counter("alloc.free_calls").increment();
     const uint64_t addr = chunkOf(payload);
-    if (addr < heap_base_ || addr >= top_ ||
-        !isAligned(addr, kGranuleBytes)) {
-        fatal("free() of address outside the heap");
-    }
-    ChunkView c = view(addr);
-    if (!c.cinuse() || c.quarantined())
-        fatal("invalid or double free");
+    ChunkView c = checkedFreeView(addr);
     live_bytes_ -= c.size() - kChunkHeader;
     releaseChunk(addr, c.size());
 }
@@ -333,12 +360,11 @@ Capability
 DlAllocator::realloc(const Capability &capability, uint64_t new_size)
 {
     if (!capability.tag())
-        fatal("realloc() through an untagged capability");
+        heapFault(HeapFaultKind::WildFree,
+                  "realloc() through an untagged capability");
     const uint64_t payload = capability.base();
     const uint64_t addr = chunkOf(payload);
-    ChunkView c = view(addr);
-    if (!c.cinuse() || c.quarantined())
-        fatal("realloc() of non-live allocation");
+    ChunkView c = checkedFreeView(addr);
 
     const uint64_t cur = c.size();
     const uint64_t requested = std::max<uint64_t>(new_size, 1);
@@ -410,16 +436,11 @@ DlAllocator::quarantineFree(const Capability &capability)
 {
     counters_.counter("alloc.quarantine_frees").increment();
     if (!capability.tag())
-        fatal("free() through an untagged capability");
+        heapFault(HeapFaultKind::WildFree,
+                  "free() through an untagged capability");
     const uint64_t payload = capability.base();
     const uint64_t addr = chunkOf(payload);
-    if (addr < heap_base_ || addr >= top_ ||
-        !isAligned(addr, kGranuleBytes)) {
-        fatal("free() of address outside the heap");
-    }
-    ChunkView c = view(addr);
-    if (!c.cinuse() || c.quarantined())
-        fatal("invalid or double free");
+    ChunkView c = checkedFreeView(addr);
     const uint64_t size = c.size();
     c.setHeader(size,
                 (c.sizeWord() & kFlagMask) | kCinuse | kQuarantine);
@@ -447,6 +468,41 @@ DlAllocator::internalFree(uint64_t addr, uint64_t size)
     quarantined_bytes_ -= size;
     c.setHeader(size, c.sizeWord() & kPinuse); // clears CINUSE + Q
     releaseChunk(addr, size);
+}
+
+uint64_t
+DlAllocator::releaseColdPages()
+{
+    // Memory-pressure reclaim: hand whole pages of dead free-chunk
+    // payload back to the page store. A free chunk's only live
+    // metadata is its first 32 bytes (prev_size, size|flags, fd, bk);
+    // its boundary-tag footer lives at the *next* chunk's first word,
+    // past the chunk's own extent. Everything between is dead bytes a
+    // re-materialised zero page reproduces, so interior pages can be
+    // released outright. Quarantined chunks are skipped: their
+    // payloads are the open/pending revocation sets. The caller must
+    // guarantee no sweep is in flight over this heap (same quiescence
+    // contract as TaggedMemory::releaseRange).
+    uint64_t released = 0;
+    auto release_interior = [&](uint64_t keep_end, uint64_t end) {
+        const uint64_t lo = alignUp(keep_end, kPageBytes);
+        const uint64_t hi = alignDown(end, kPageBytes);
+        if (lo < hi)
+            released += mem_->releaseRange(lo, hi - lo);
+    };
+    uint64_t addr = heap_base_;
+    while (addr < top_) {
+        ChunkView c = viewUncounted(addr);
+        const uint64_t size = c.size();
+        if (!c.cinuse() && !c.quarantined())
+            release_interior(addr + kMinChunk, addr + size);
+        addr += size;
+    }
+    // The wilderness chunk: only its header matters.
+    release_interior(top_ + kMinChunk, heap_end_);
+    counters_.counter("alloc.cold_pages_released")
+        .increment(released);
+    return released;
 }
 
 std::vector<DlAllocator::WalkChunk>

@@ -73,7 +73,9 @@ class DlAllocator
     /**
      * Free through a capability: the capability must be tagged and
      * its base must be the start of a live allocation.
-     * @throws FatalError on invalid or double free.
+     * @throws HeapFault (kind double-free / wild-free /
+     *         header-corruption) on invalid input — catchable at a
+     *         tenant containment boundary, fatal when uncontained.
      */
     void free(const cap::Capability &capability);
 
@@ -135,6 +137,15 @@ class DlAllocator
 
     /** Every chunk from heap base through the top chunk, in order. */
     std::vector<WalkChunk> walkHeap() const;
+
+    /**
+     * Memory-pressure reclaim: release every whole backing page of
+     * dead free-chunk payload (and of the wilderness chunk) back to
+     * the page store, preserving all boundary-tag metadata. The
+     * caller must guarantee no sweep is in flight over this heap.
+     * @return pages released
+     */
+    uint64_t releaseColdPages();
 
     /** Assert every boundary-tag invariant (including bin-bitmap /
      *  bin-list consistency and raw-span tag invalidation); throws
@@ -210,6 +221,10 @@ class DlAllocator
     {
         bin_map_[idx >> 6] &= ~(uint64_t{1} << (idx & 63));
     }
+
+    /** Bounds + boundary-tag sanity for a free/realloc target;
+     *  raises the typed HeapFault on tenant-attributable damage. */
+    ChunkView checkedFreeView(uint64_t addr) const;
 
     void insertFreeChunk(uint64_t addr, uint64_t size);
     void unlinkChunk(uint64_t addr);

@@ -430,6 +430,26 @@ class TaggedMemory
     /** Pages that have been materialised (touched by a write). */
     size_t residentPages() const { return dir_.resident(); }
 
+    /** @name Soft page budget (memory-pressure modelling) */
+    /// @{
+
+    /**
+     * Install a soft budget on resident pages (0 = unlimited, the
+     * default). The budget is advisory: nothing here ever fails an
+     * allocation — a host (tenant::TenantManager) polls
+     * overSoftBudget() and walks its escalation ladder (emergency
+     * revocation → cold-page reclaim → tenant OOM-kill) to get back
+     * under it.
+     */
+    void setSoftPageBudget(size_t pages) { soft_budget_ = pages; }
+    size_t softPageBudget() const { return soft_budget_; }
+    bool
+    overSoftBudget() const
+    {
+        return soft_budget_ != 0 && dir_.resident() > soft_budget_;
+    }
+    /// @}
+
     stats::CounterGroup &counters() { return counters_; }
     const stats::CounterGroup &counters() const { return counters_; }
 
@@ -443,6 +463,7 @@ class TaggedMemory
 
     PageDirectory dir_;
     PageTable pt_;
+    size_t soft_budget_ = 0; //!< resident-page soft cap; 0 = none
     /** mutable: read paths account traffic too. */
     mutable stats::CounterGroup counters_;
     std::function<bool(uint64_t)> load_barrier_;

@@ -359,6 +359,23 @@ runMultiTenantBenchmark(const workload::BenchmarkProfile &profile,
     mgr_cfg.scope = config.tenantScope;
     mgr_cfg.mutator.threads = config.mutatorThreads;
     mgr_cfg.mutator.remoteBatch = config.remoteBatch;
+    if (!config.faultPlanText.empty()) {
+        mgr_cfg.faultPlan = parseFaultPlan(config.faultPlanText);
+    } else if (config.faultSeed != 0) {
+        // Seeded chaos: one injection of every kind, spread over the
+        // static tenants (ids == slots before any churn), each at an
+        // op index inside the target tenant's own trace.
+        std::vector<uint64_t> ids(config.tenants);
+        std::vector<uint64_t> ops(config.tenants);
+        for (unsigned i = 0; i < config.tenants; ++i) {
+            ids[i] = i;
+            ops[i] = (*traces)[i].ops.size();
+        }
+        mgr_cfg.faultPlan =
+            generateFaultPlan(config.faultSeed, ids, ops);
+    }
+    mgr_cfg.pageBudgetPages = static_cast<size_t>(
+        config.pageBudgetMiB * MiB / kPageBytes);
     tenant::TenantManager manager(mgr_cfg);
 
     for (unsigned i = 0; i < config.tenants; ++i) {

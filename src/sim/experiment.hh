@@ -98,6 +98,23 @@ struct ExperimentConfig
     /** Remote frees per batch message on the MPSC queues. */
     unsigned remoteBatch = 32;
     /// @}
+
+    /** @name Fault injection and memory pressure
+     *  (CHERIVOKE_FAULT_PLAN / CHERIVOKE_FAULT_SEED /
+     *  CHERIVOKE_PAGE_BUDGET_MIB; bench/fault_matrix) */
+    /// @{
+    /** Explicit chaos schedule, `kind@tenant:op[,...]` (strict
+     *  grammar, see parseFaultPlan); empty = none. Takes precedence
+     *  over faultSeed. */
+    std::string faultPlanText;
+    /** Seed for a generated plan (one injection per fault kind,
+     *  spread across the tenants); 0 = no seeded plan. */
+    uint64_t faultSeed = 0;
+    /** Soft resident-page budget over the shared memory, in MiB;
+     *  0 = unlimited. Exceeding it walks the manager's escalation
+     *  ladder (emergency revocation → global reclaim → OOM-kill). */
+    double pageBudgetMiB = 0;
+    /// @}
 };
 
 /** Everything one benchmark run produces. */

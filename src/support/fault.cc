@@ -1,0 +1,114 @@
+#include "support/fault.hh"
+
+#include "support/env.hh"
+#include "support/rng.hh"
+
+namespace cherivoke {
+
+const char *
+heapFaultKindName(HeapFaultKind kind)
+{
+    switch (kind) {
+      case HeapFaultKind::DoubleFree: return "double-free";
+      case HeapFaultKind::WildFree: return "wild-free";
+      case HeapFaultKind::HeaderCorruption:
+        return "header-corruption";
+      case HeapFaultKind::OutOfMemory: return "oom";
+      case HeapFaultKind::CodecCorruption: return "codec-corruption";
+    }
+    return "unknown";
+}
+
+bool
+parseHeapFaultKind(const std::string &name, HeapFaultKind &out)
+{
+    for (size_t i = 0; i < kNumHeapFaultKinds; ++i) {
+        const auto kind = static_cast<HeapFaultKind>(i);
+        if (name == heapFaultKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+FaultPlan::text() const
+{
+    std::string out;
+    for (const FaultInjection &fi : injections) {
+        if (!out.empty())
+            out += ',';
+        out += heapFaultKindName(fi.kind);
+        out += '@';
+        out += std::to_string(fi.tenantId);
+        out += ':';
+        out += std::to_string(fi.opIndex);
+    }
+    return out;
+}
+
+FaultPlan
+parseFaultPlan(const std::string &text)
+{
+    FaultPlan plan;
+    if (text.empty())
+        return plan;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        const size_t comma = std::min(text.find(',', pos),
+                                      text.size());
+        const std::string item = text.substr(pos, comma - pos);
+        const size_t at = item.find('@');
+        const size_t colon = item.find(':', at == std::string::npos
+                                                  ? 0 : at + 1);
+        if (at == std::string::npos || colon == std::string::npos)
+            fatal("fault plan: expected kind@tenant:op, got '%s'",
+                  item.c_str());
+        FaultInjection fi;
+        const std::string kind = item.substr(0, at);
+        if (!parseHeapFaultKind(kind, fi.kind))
+            fatal("fault plan: unknown fault kind '%s' (expected "
+                  "double-free, wild-free, header-corruption, oom "
+                  "or codec-corruption)",
+                  kind.c_str());
+        int64_t tenant = 0, op = 0;
+        if (!parseI64(item.substr(at + 1, colon - at - 1), tenant) ||
+            tenant < 0)
+            fatal("fault plan: bad tenant id in '%s'", item.c_str());
+        if (!parseI64(item.substr(colon + 1), op) || op < 0)
+            fatal("fault plan: bad op index in '%s'", item.c_str());
+        fi.tenantId = static_cast<uint64_t>(tenant);
+        fi.opIndex = static_cast<uint64_t>(op);
+        plan.injections.push_back(fi);
+        pos = comma + 1;
+    }
+    return plan;
+}
+
+FaultPlan
+generateFaultPlan(uint64_t seed,
+                  const std::vector<uint64_t> &tenant_ids,
+                  const std::vector<uint64_t> &op_counts)
+{
+    CHERIVOKE_ASSERT(tenant_ids.size() == op_counts.size() &&
+                         !tenant_ids.empty(),
+                     "(fault plan needs one op count per tenant)");
+    Rng rng(seed);
+    FaultPlan plan;
+    for (size_t k = 0; k < kNumHeapFaultKinds; ++k) {
+        FaultInjection fi;
+        fi.kind = static_cast<HeapFaultKind>(k);
+        const size_t t = rng.nextBounded(tenant_ids.size());
+        fi.tenantId = tenant_ids[t];
+        // Land strictly inside the trace so the injection actually
+        // fires before the tenant finishes (ops >= 1 guaranteed by
+        // the max).
+        fi.opIndex =
+            rng.nextBounded(std::max<uint64_t>(op_counts[t], 1));
+        plan.injections.push_back(fi);
+    }
+    return plan;
+}
+
+} // namespace cherivoke

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The typed recoverable-fault channel: errors attributable to a
+ * *tenant's own input* (a double free in its trace, a corrupt trace
+ * record, its heap blowing the page budget) are raised as HeapFault
+ * instead of plain fatal(), so a multi-tenant host can catch the
+ * fault, retire just the offending tenant, and keep serving the
+ * others. TCB invariant violations (a bug in this library) remain
+ * PanicError, and configuration errors remain plain FatalError —
+ * neither is ever contained.
+ *
+ * HeapFault derives from FatalError on purpose: a single-process run
+ * that never installs a containment boundary still dies with the
+ * same catchable error the pre-fault-channel code threw, so every
+ * existing EXPECT_THROW(..., FatalError) contract holds.
+ *
+ * The file also defines the deterministic fault-injection plan
+ * (CHERIVOKE_FAULT_PLAN / CHERIVOKE_FAULT_SEED): a list of
+ * (kind, tenant, op-index) injections, either parsed from the strict
+ * `kind@tenant:op[,...]` grammar or generated from a seed, that a
+ * TenantManager fires through the TraceReplayer hook machinery so
+ * every chaos run replays bit-identically.
+ */
+
+#ifndef CHERIVOKE_SUPPORT_FAULT_HH
+#define CHERIVOKE_SUPPORT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace cherivoke {
+
+/** What went wrong, from the containment boundary's point of view. */
+enum class HeapFaultKind : uint8_t
+{
+    DoubleFree,       //!< free/realloc of a non-live allocation
+    WildFree,         //!< free through an untagged cap or of an
+                      //!< address outside the heap
+    HeaderCorruption, //!< chunk boundary tag fails sanity checks
+    OutOfMemory,      //!< page budget exhausted after escalation
+    CodecCorruption,  //!< corrupt record mid-stream in a trace
+};
+
+constexpr size_t kNumHeapFaultKinds = 5;
+
+/** Stable lowercase name ("double-free", "oom", ...). */
+const char *heapFaultKindName(HeapFaultKind kind);
+
+/** Inverse of heapFaultKindName(). @return false on unknown name */
+bool parseHeapFaultKind(const std::string &name, HeapFaultKind &out);
+
+/**
+ * A recoverable, attributable heap fault. Raised where the fault is
+ * detected (allocator, codec, pressure ladder); the tenant id is
+ * stamped at the containment boundary, which knows whose op was
+ * executing.
+ */
+class HeapFault : public FatalError
+{
+  public:
+    static constexpr uint64_t kNoTenant = ~uint64_t{0};
+
+    HeapFault(HeapFaultKind kind, const std::string &what)
+        : FatalError(what), kind_(kind)
+    {}
+
+    HeapFaultKind kind() const { return kind_; }
+
+    uint64_t tenant() const { return tenant_; }
+    bool attributed() const { return tenant_ != kNoTenant; }
+    void setTenant(uint64_t id) { tenant_ = id; }
+
+  private:
+    HeapFaultKind kind_;
+    uint64_t tenant_ = kNoTenant;
+};
+
+/** Raise a HeapFault of @p kind with a printf-formatted message. */
+template <typename... Args>
+[[noreturn]] void
+heapFault(HeapFaultKind kind, const char *fmt, Args &&...args)
+{
+    std::string message = "heap fault (";
+    message += heapFaultKindName(kind);
+    message += "): ";
+    if constexpr (sizeof...(Args) == 0) {
+        message += fmt;
+    } else {
+        message +=
+            detail::formatMessage(fmt, std::forward<Args>(args)...);
+    }
+    throw HeapFault(kind, message);
+}
+
+/** One planned injection: raise @p kind the first time tenant
+ *  @p tenantId is scheduled with >= @p opIndex ops applied. */
+struct FaultInjection
+{
+    HeapFaultKind kind = HeapFaultKind::DoubleFree;
+    uint64_t tenantId = 0;
+    uint64_t opIndex = 0;
+    bool fired = false; //!< consumed by the manager at run time
+};
+
+/** A deterministic chaos schedule. */
+struct FaultPlan
+{
+    std::vector<FaultInjection> injections;
+
+    bool empty() const { return injections.empty(); }
+
+    /** Canonical `kind@tenant:op,...` text (parse round-trips). */
+    std::string text() const;
+};
+
+/**
+ * Strict-parse the `kind@tenant:op[,kind@tenant:op...]` grammar
+ * (kinds: double-free, wild-free, header-corruption, oom,
+ * codec-corruption). Empty text yields an empty plan; anything
+ * malformed — unknown kind, missing separator, non-numeric field,
+ * trailing comma — throws FatalError naming the offending token.
+ */
+FaultPlan parseFaultPlan(const std::string &text);
+
+/**
+ * Seed-generate a plan with one injection of every fault kind,
+ * spread across @p tenant_ids at op indices below the target
+ * tenant's entry in @p op_counts (deterministic xoshiro stream:
+ * same seed, same tenants, same counts -> same plan).
+ */
+FaultPlan generateFaultPlan(uint64_t seed,
+                            const std::vector<uint64_t> &tenant_ids,
+                            const std::vector<uint64_t> &op_counts);
+
+} // namespace cherivoke
+
+#endif // CHERIVOKE_SUPPORT_FAULT_HH

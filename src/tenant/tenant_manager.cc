@@ -86,8 +86,10 @@ Tenant::Tenant(size_t index, const TenantConfig &config,
 }
 
 TenantManager::TenantManager(TenantManagerConfig config)
-    : config_(config)
-{}
+    : config_(std::move(config))
+{
+    memory_.setSoftPageBudget(config_.pageBudgetPages);
+}
 
 size_t
 TenantManager::slotOf(uint64_t id) const
@@ -261,6 +263,12 @@ TenantManager::captureResult(size_t slot, bool retired_mid_run)
     tr.mutator = runMutatorRace(s.tenant->trace(), tr.opsApplied,
                                 config_.mutator,
                                 s.replayer->epochOpenOps());
+    if (containing_) {
+        tr.faulted = true;
+        tr.faultKind = containing_->kind;
+        tr.faultOp = tr.opsApplied;
+        tr.faultMessage = containing_->message;
+    }
     return tr;
 }
 
@@ -405,6 +413,112 @@ TenantManager::pumpFor(size_t index, cache::Hierarchy *hierarchy)
     engine_->selectDomain(index);
 }
 
+void
+TenantManager::maybeInjectFault(size_t slot)
+{
+    if (config_.faultPlan.empty())
+        return;
+    const uint64_t id = slots_[slot].id;
+    for (FaultInjection &fi : config_.faultPlan.injections) {
+        if (fi.fired || fi.tenantId != id ||
+            slots_[slot].replayer->opsApplied() < fi.opIndex)
+            continue;
+        fi.fired = true;
+        inject_in_flight_ = true;
+        slots_[slot].replayer->injectFault(fi.kind); // throws
+    }
+}
+
+void
+TenantManager::containFault(size_t slot, const HeapFault &fault)
+{
+    const double t0 = wallNow();
+    FaultRecord rec;
+    rec.kind = fault.kind();
+    rec.tenantId = slots_[slot].id;
+    rec.slot = slot;
+    rec.step = steps_;
+    rec.opIndex = slots_[slot].replayer->opsApplied();
+    rec.injected = inject_in_flight_;
+    rec.message = fault.what();
+    inject_in_flight_ = false;
+    // The standard teardown path IS the containment mechanism:
+    // drain the tenant's own epoch, capture its partial results
+    // (captureResult stamps the fault from containing_), retire its
+    // engine domain, unmap + release its slot. Surviving tenants
+    // never observe the faulty tenant's post-fault ops.
+    containing_ = rec;
+    retireTenant(rec.tenantId);
+    containing_.reset();
+    rec.wallSec = wallNow() - t0;
+    faults_.push_back(std::move(rec));
+}
+
+uint64_t
+TenantManager::emergencyReclaim(size_t slot,
+                                cache::Hierarchy *hierarchy)
+{
+    const uint64_t before = memory_.residentPages();
+    Slot &s = slots_[slot];
+    // Force-complete any epoch the tenant owns, then revoke its
+    // whole quarantine now: revoked chunks become internal-free, so
+    // their interior pages are releasable cold pages.
+    engine_->selectDomain(slot);
+    engine_->drainDomain(slot, hierarchy);
+    if (s.tenant->allocator().quarantinedBytes() > 0)
+        engine_->revokeNow(hierarchy);
+    s.tenant->allocator().dl().releaseColdPages();
+    const uint64_t after = memory_.residentPages();
+    return before > after ? before - after : 0;
+}
+
+bool
+TenantManager::applyPressureLadder(size_t slot,
+                                   cache::Hierarchy *hierarchy)
+{
+    if (config_.pageBudgetPages == 0)
+        return false;
+    if (!memory_.overSoftBudget()) {
+        pressure_strikes_ = 0; // episode over; reclamation caught up
+        return false;
+    }
+    if (pressure_strikes_ > 0 && steps_ < pressure_retry_at_)
+        return false; // backoff: give the last rung room to land
+    ++pressure_events_;
+    ++pressure_strikes_;
+    pressure_retry_at_ = steps_ + config_.pressureBackoffSteps;
+    if (pressure_strikes_ == 1) {
+        // Rung 1: emergency revocation + cold-page release for the
+        // tenant about to step (it is the one asking for pages).
+        pressure_pages_reclaimed_ += emergencyReclaim(slot, hierarchy);
+        return false;
+    }
+    if (pressure_strikes_ == 2) {
+        // Rung 2: the pressured tenant alone was not enough — one
+        // global reclaim pass over every live tenant.
+        for (size_t j = 0; j < slots_.size(); ++j)
+            if (slots_[j].tenant)
+                pressure_pages_reclaimed_ +=
+                    emergencyReclaim(j, hierarchy);
+        return false;
+    }
+    // Rung 3: last resort — OOM-kill the tenant about to step.
+    ++oom_kills_;
+    pressure_strikes_ = 0;
+    const HeapFault fault(
+        HeapFaultKind::OutOfMemory,
+        "heap fault (oom): " +
+            detail::formatMessage(
+                "%llu resident pages still over the %llu-page soft "
+                "budget after emergency and global reclamation",
+                static_cast<unsigned long long>(
+                    memory_.residentPages()),
+                static_cast<unsigned long long>(
+                    config_.pageBudgetPages)));
+    containFault(slot, fault);
+    return true;
+}
+
 MultiTenantResult
 TenantManager::run(cache::Hierarchy *hierarchy)
 {
@@ -435,11 +549,26 @@ TenantManager::run(cache::Hierarchy *hierarchy)
 
     while (!scheduler_.allDone()) {
         const size_t i = scheduler_.next();
+        // Memory pressure resolves before the tenant steps; the
+        // ladder's last rung OOM-kills the slot, leaving nothing
+        // to step this turn.
+        if (applyPressureLadder(i, hierarchy))
+            continue;
         workload::TraceReplayer &r = *slots_[i].replayer;
         const uint64_t live_before = r.liveObjects();
-        r.step(hierarchy);
-        live_allocs_ += r.liveObjects() - live_before; // may wrap;
-                                                       // sums exactly
+        try {
+            maybeInjectFault(i);
+            r.step(hierarchy);
+            live_allocs_ += r.liveObjects() - live_before;
+            // may wrap; sums exactly
+        } catch (const HeapFault &fault) {
+            // The step's own live delta must land before containment:
+            // the retire path inside subtracts the tenant's full
+            // remaining live count. PanicError (TCB bugs) and plain
+            // FatalError (configuration) fall through uncontained.
+            live_allocs_ += r.liveObjects() - live_before;
+            containFault(i, fault);
+        }
         ++steps_;
         result.peakAggLiveAllocs =
             std::max(result.peakAggLiveAllocs, live_allocs_);
@@ -498,6 +627,11 @@ TenantManager::run(cache::Hierarchy *hierarchy)
     result.spawns = spawns_;
     result.retires = retires_;
     result.slotsReused = slots_reused_;
+    result.faults = faults_;
+    result.faultsContained = faults_.size();
+    result.oomKills = oom_kills_;
+    result.pressureEvents = pressure_events_;
+    result.pressurePagesReclaimed = pressure_pages_reclaimed_;
 
     running_ = false;
     hierarchy_ = nullptr;

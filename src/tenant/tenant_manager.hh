@@ -47,6 +47,19 @@
  * exactly what a fresh slot shows — zero data, zero tags, zero
  * shadow bytes, nothing resident.
  *
+ * The manager is also the process's fault-containment boundary: a
+ * HeapFault raised while a tenant steps (a double free in its trace,
+ * a smashed boundary tag, an injected chaos fault) retires exactly
+ * that tenant through the standard teardown path and the run
+ * continues; under per-tenant scope every surviving tenant's
+ * modelled statistics are bit-identical to a run where the faulty
+ * tenant's trace simply ended at its fault point. A soft page
+ * budget on the shared memory adds memory-pressure degradation: the
+ * escalation ladder first force-revokes the pressured tenant
+ * (flushing its quarantine) and releases cold heap pages, then —
+ * after a backoff window — reclaims globally, and OOM-kills the
+ * pressured tenant only as the last resort.
+ *
  * Everything is deterministic: same tenant configs + same traces →
  * bit-identical per-tenant and aggregate statistics (lifecycle
  * wall-clock measurements excepted — they are reporting, not
@@ -67,6 +80,7 @@
 #include "mem/addr_space.hh"
 #include "revoke/revocation_engine.hh"
 #include "stats/summary.hh"
+#include "support/fault.hh"
 #include "tenant/mutator_threads.hh"
 #include "tenant/scheduler.hh"
 #include "workload/driver.hh"
@@ -164,6 +178,34 @@ struct TenantResult
      *  into `run`: modelled statistics are bit-identical across
      *  thread counts by construction. */
     MutatorRaceResult mutator;
+
+    /** @name Fault containment (set when the tenant was retired by
+     *  a contained HeapFault rather than by its own trace) */
+    /// @{
+    bool faulted = false;
+    HeapFaultKind faultKind = HeapFaultKind::DoubleFree;
+    /** opsApplied when the fault was contained. */
+    uint64_t faultOp = 0;
+    std::string faultMessage;
+    /// @}
+};
+
+/** One contained fault, as the manager handled it. */
+struct FaultRecord
+{
+    HeapFaultKind kind = HeapFaultKind::DoubleFree;
+    uint64_t tenantId = 0;
+    size_t slot = 0;
+    /** Scheduler steps completed when the fault was contained. */
+    uint64_t step = 0;
+    /** Ops the faulting tenant had applied. */
+    uint64_t opIndex = 0;
+    /** Planned (fault-plan) injection vs organic trace damage. */
+    bool injected = false;
+    std::string message;
+    /** Host wall-clock cost of the containment (drain + capture +
+     *  teardown). Reporting only: excluded from fingerprints. */
+    double wallSec = 0;
 };
 
 /** One tenant arrival or departure, as it was applied. */
@@ -226,6 +268,20 @@ struct MultiTenantResult
     uint64_t slotsReused = 0;
     /// @}
 
+    /** @name Fault containment and memory pressure */
+    /// @{
+    /** Every contained fault, in containment order. */
+    std::vector<FaultRecord> faults;
+    uint64_t faultsContained = 0;
+    /** Tenants killed by the pressure ladder's last resort. */
+    uint64_t oomKills = 0;
+    /** Escalation-ladder activations (any rung). */
+    uint64_t pressureEvents = 0;
+    /** Pages reclaimed by emergency revocation + cold-page
+     *  release while over the soft page budget. */
+    uint64_t pressurePagesReclaimed = 0;
+    /// @}
+
     /** @name Aggregate peaks across the consolidated image.
      *  Live-allocation count is tracked exactly (updated every op);
      *  byte aggregates are sampled every kAggregateSampleOps ops,
@@ -259,6 +315,21 @@ struct TenantManagerConfig
      *  (threads == 1: the classic serial front-end, no message
      *  traffic, race run inline). */
     MutatorConfig mutator{};
+
+    /** Deterministic chaos schedule (CHERIVOKE_FAULT_PLAN /
+     *  CHERIVOKE_FAULT_SEED); empty = no injections. */
+    FaultPlan faultPlan{};
+
+    /** Soft resident-page budget over the shared TaggedMemory
+     *  (CHERIVOKE_PAGE_BUDGET_MIB); 0 = unlimited. Exceeding it
+     *  walks the escalation ladder: emergency revocation of the
+     *  pressured tenant → backoff and a global reclaim pass →
+     *  tenant OOM-kill as the last resort. */
+    size_t pageBudgetPages = 0;
+
+    /** Scheduler steps between ladder escalations (retry window
+     *  for reclamation to catch up before the next rung). */
+    uint64_t pressureBackoffSteps = 64;
 };
 
 /** Aggregate-byte-peak sampling period, in scheduler steps. */
@@ -358,6 +429,24 @@ class TenantManager
     TenantResult captureResult(size_t slot, bool retired_mid_run);
     uint64_t releaseSlotMemory(size_t slot);
 
+    /** Fire any planned injection due for the tenant in @p slot
+     *  (throws HeapFault via the replayer when one is due). */
+    void maybeInjectFault(size_t slot);
+
+    /** Containment boundary: record @p fault, retire the tenant in
+     *  @p slot through the standard teardown path. */
+    void containFault(size_t slot, const HeapFault &fault);
+
+    /** Emergency revocation + cold-page reclaim for one tenant.
+     *  @return pages released */
+    uint64_t emergencyReclaim(size_t slot,
+                              cache::Hierarchy *hierarchy);
+
+    /** Walk the escalation ladder for the tenant about to step.
+     *  @return true when the ladder OOM-killed it (slot is gone) */
+    bool applyPressureLadder(size_t slot,
+                             cache::Hierarchy *hierarchy);
+
     TenantManagerConfig config_;
     mem::TaggedMemory memory_;
     std::vector<Slot> slots_;
@@ -368,6 +457,22 @@ class TenantManager
     TenantScheduler scheduler_;
     std::vector<TenantResult> retired_results_;
     std::vector<LifecycleEvent> events_;
+    std::vector<FaultRecord> faults_;
+    /** Fault being contained right now; captureResult stamps it
+     *  into the retiring tenant's result. */
+    std::optional<FaultRecord> containing_;
+    /** The in-flight injection (set across injectFault's throw so
+     *  containFault can tell planned from organic). */
+    bool inject_in_flight_ = false;
+    /** @name Escalation-ladder state */
+    /// @{
+    unsigned pressure_strikes_ = 0;  //!< rungs climbed this episode
+    uint64_t pressure_retry_at_ = 0; //!< next rung no sooner than
+                                     //!< this scheduler step
+    uint64_t oom_kills_ = 0;
+    uint64_t pressure_events_ = 0;
+    uint64_t pressure_pages_reclaimed_ = 0;
+    /// @}
     std::optional<workload::TraceOp> pending_; //!< lifecycle op from
                                                //!< the current step
     cache::Hierarchy *hierarchy_ = nullptr; //!< while run() executes

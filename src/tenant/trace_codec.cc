@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "support/fault.hh"
 #include "support/logging.hh"
 
 namespace cherivoke {
@@ -142,12 +143,16 @@ decodeTrace(const uint8_t *data, size_t size)
               stride, kTraceRecordBytes);
     const uint64_t count = getU64(&data[16]);
     // Division form: the multiplied bound could overflow uint64 for
-    // a corrupt header and bypass the check.
+    // a corrupt header and bypass the check. Mid-stream truncation
+    // is record-level damage — one tenant's bad trace, not a
+    // harness misconfiguration — so it goes through the typed fault
+    // channel a multi-tenant host can contain.
     if (count > (size - kTraceHeaderBytes) / kTraceRecordBytes)
-        fatal("binary trace truncated: header promises %llu records "
-              "but only %zu bytes follow",
-              static_cast<unsigned long long>(count),
-              size - kTraceHeaderBytes);
+        heapFault(HeapFaultKind::CodecCorruption,
+                  "binary trace truncated: header promises %llu "
+                  "records but only %zu bytes follow",
+                  static_cast<unsigned long long>(count),
+                  size - kTraceHeaderBytes);
 
     workload::Trace trace;
     trace.ops.resize(count);
@@ -160,9 +165,11 @@ decodeTrace(const uint8_t *data, size_t size)
         workload::TraceOp &op = trace.ops[i];
         const uint8_t kind = rec[0];
         if (kind > kind_limit)
-            fatal("binary trace record %llu: unknown op kind %u "
-                  "for version %u",
-                  static_cast<unsigned long long>(i), kind, version);
+            heapFault(HeapFaultKind::CodecCorruption,
+                      "binary trace record %llu: unknown op kind %u "
+                      "for version %u",
+                      static_cast<unsigned long long>(i), kind,
+                      version);
         op.kind = static_cast<OpKind>(kind);
         switch (op.kind) {
           case OpKind::Malloc:

@@ -179,6 +179,56 @@ TraceReplayer::step(cache::Hierarchy *hierarchy)
     trackPeaks();
 }
 
+void
+TraceReplayer::injectFault(HeapFaultKind kind)
+{
+    auto &memory = space_->memory();
+    switch (kind) {
+      case HeapFaultKind::DoubleFree: {
+        // A genuine double free: quarantine a fresh allocation, then
+        // free it again — the second free trips the kQuarantine flag
+        // check, exactly as a buggy program's would.
+        const cap::Capability c = alloc_->malloc(64);
+        alloc_->free(c);
+        alloc_->free(c);
+        break;
+      }
+      case HeapFaultKind::WildFree: {
+        // A tagged capability whose base is nowhere near the heap:
+        // the globals segment, which every address space has.
+        const uint64_t payload =
+            space_->globals().base + alloc::kChunkHeader;
+        alloc_->free(space_->rootCap()
+                         .setAddress(payload)
+                         .setBounds(16));
+        break;
+      }
+      case HeapFaultKind::HeaderCorruption: {
+        // Smash a live chunk's size bits (flags preserved so the
+        // neighbours' coalescing invariants stay intact) and free
+        // it: the boundary-tag sanity check fires.
+        const cap::Capability c = alloc_->malloc(64);
+        const uint64_t header =
+            alloc::DlAllocator::chunkOf(c.base()) + 8;
+        memory.spanWriteU64(header, memory.spanReadU64(header) &
+                                        alloc::kFlagMask);
+        alloc_->free(c);
+        break;
+      }
+      case HeapFaultKind::OutOfMemory:
+        heapFault(HeapFaultKind::OutOfMemory,
+                  "injected page-budget exhaustion at op %zu",
+                  next_);
+      case HeapFaultKind::CodecCorruption:
+        heapFault(HeapFaultKind::CodecCorruption,
+                  "injected mid-stream trace corruption at op %zu",
+                  next_);
+    }
+    // The allocator paths above must have thrown.
+    panic("fault injection of kind %s did not raise",
+          heapFaultKindName(kind));
+}
+
 DriverResult
 TraceReplayer::finish(cache::Hierarchy *hierarchy)
 {

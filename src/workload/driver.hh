@@ -18,6 +18,7 @@
 #include "alloc/cherivoke_alloc.hh"
 #include "cache/hierarchy.hh"
 #include "revoke/revocation_engine.hh"
+#include "support/fault.hh"
 #include "workload/trace.hh"
 
 namespace cherivoke {
@@ -143,6 +144,17 @@ class TraceReplayer
     {
         return epoch_ops_;
     }
+
+    /**
+     * Chaos hook: perform a real faulting operation of @p kind
+     * against this replay's allocator (a genuine double free, a
+     * free of an address outside the heap, a free through a smashed
+     * boundary tag...), so the planned injection exercises exactly
+     * the detection path an organic fault would. Always throws
+     * HeapFault; never advances the trace. Deterministic: the same
+     * replay state produces the same faulting operation.
+     */
+    [[noreturn]] void injectFault(HeapFaultKind kind);
 
   private:
     void pumpEngine(cache::Hierarchy *hierarchy);
