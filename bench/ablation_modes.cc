@@ -243,6 +243,7 @@ main()
 {
     bench::printSystems("Ablations: parallelism, work elimination, "
                         "strict mode, incremental epochs");
+    bench::printKnobs();
     parallelAblation();
     eliminationAblation();
     strictModeAblation();

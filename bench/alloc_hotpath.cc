@@ -117,6 +117,10 @@ main()
     bench::printSystems(
         "Mutator allocator/quarantine hot-path throughput "
         "(bench/alloc_hotpath)");
+    // Phase D runs under the common experiment knobs: pull them into
+    // the registry now so the startup printout is the complete set.
+    (void)bench::defaultConfig();
+    bench::printKnobs();
     std::printf("live-allocation target: %llu\n\n",
                 static_cast<unsigned long long>(live_target));
 

@@ -65,10 +65,25 @@ printSystems(const char *title)
  *   CHERIVOKE_PAGE_BUDGET_MIB= soft resident-page budget over the
  *                              shared tenant memory, in MiB
  *                              (escalation ladder; default 0 = off)
+ *   CHERIVOKE_BACKEND        = revocation backend: sweep | color |
+ *                              objid (how freed memory becomes safe
+ *                              to reuse; default sweep)
+ *   CHERIVOKE_TENANT_BACKENDS= per-tenant backends, one per tenant,
+ *                              e.g. "sweep,color,objid" (mixed
+ *                              backends share one engine)
+ *   CHERIVOKE_COLORS         = color-pool size of the colored-
+ *                              capability backend (1..63, default 16)
+ *   CHERIVOKE_ALLOCS_PER_COLOR = allocations before a color seals
+ *                              (default 256)
+ *   CHERIVOKE_RECYCLE_FRACTION = retired-color fraction that
+ *                              triggers a recycling scan (default 0.5)
+ *   CHERIVOKE_ID_COMPACT     = retired object-IDs that trigger a
+ *                              table-compaction epoch (default 4096)
  *
  * Parsing is strict (support/env.hh): a set-but-malformed value such
  * as CHERIVOKE_THREADS=abc fails the run with a clear error instead
- * of silently running the default configuration.
+ * of silently running the default configuration. Every query lands
+ * in the env-knob registry; printKnobs() dumps the effective set.
  */
 inline sim::ExperimentConfig
 defaultConfig()
@@ -79,22 +94,23 @@ defaultConfig()
     cfg.scale = 1.0 / 128;
     cfg.durationSec = 0.4;
     cfg.seed = 42;
-    if (const char *policy = std::getenv("CHERIVOKE_POLICY")) {
-        if (!revoke::parsePolicy(policy, cfg.policy))
-            fatal("CHERIVOKE_POLICY: unknown policy '%s'", policy);
-    }
+    const std::string policy =
+        envStr("CHERIVOKE_POLICY", revoke::policyName(cfg.policy));
+    if (!revoke::parsePolicy(policy, cfg.policy))
+        fatal("CHERIVOKE_POLICY: unknown policy '%s'",
+              policy.c_str());
     cfg.threads = static_cast<unsigned>(
         envI64("CHERIVOKE_THREADS", cfg.threads));
     cfg.paintShards = static_cast<unsigned>(
         envI64("CHERIVOKE_PAINT_SHARDS", cfg.paintShards));
     cfg.tenants = static_cast<unsigned>(
         envI64("CHERIVOKE_TENANTS", cfg.tenants));
-    if (const char *scope = std::getenv("CHERIVOKE_TENANT_SCOPE")) {
-        if (!tenant::parseScope(scope, cfg.tenantScope))
-            fatal("CHERIVOKE_TENANT_SCOPE: unknown scope '%s' "
-                  "(expected per-tenant or global)",
-                  scope);
-    }
+    const std::string scope = envStr(
+        "CHERIVOKE_TENANT_SCOPE", tenant::scopeName(cfg.tenantScope));
+    if (!tenant::parseScope(scope, cfg.tenantScope))
+        fatal("CHERIVOKE_TENANT_SCOPE: unknown scope '%s' "
+              "(expected per-tenant or global)",
+              scope.c_str());
     cfg.tenantHeapMiB =
         envF64("CHERIVOKE_TENANT_HEAP_MIB", cfg.tenantHeapMiB, 0);
     cfg.tenantWeights = envF64List("CHERIVOKE_TENANT_WEIGHTS");
@@ -102,37 +118,59 @@ defaultConfig()
         cfg.tenantWeights.size() != cfg.tenants)
         fatal("CHERIVOKE_TENANT_WEIGHTS: %zu weights for %u tenants",
               cfg.tenantWeights.size(), cfg.tenants);
-    if (const char *policies =
-            std::getenv("CHERIVOKE_TENANT_POLICIES")) {
-        std::string text(policies);
-        size_t pos = 0;
-        while (pos <= text.size()) {
-            const size_t comma = text.find(',', pos);
-            const std::string item = text.substr(
-                pos, comma == std::string::npos ? std::string::npos
-                                                : comma - pos);
-            revoke::PolicyKind kind;
-            if (!revoke::parsePolicy(item, kind))
-                fatal("CHERIVOKE_TENANT_POLICIES: unknown policy "
-                      "'%s'",
-                      item.c_str());
-            cfg.tenantPolicies.push_back(kind);
-            if (comma == std::string::npos)
-                break;
-            pos = comma + 1;
-        }
-        if (cfg.tenantPolicies.size() != cfg.tenants)
-            fatal("CHERIVOKE_TENANT_POLICIES: %zu policies for %u "
-                  "tenants",
-                  cfg.tenantPolicies.size(), cfg.tenants);
+    for (const std::string &item :
+         envStrList("CHERIVOKE_TENANT_POLICIES")) {
+        revoke::PolicyKind kind;
+        if (!revoke::parsePolicy(item, kind))
+            fatal("CHERIVOKE_TENANT_POLICIES: unknown policy '%s'",
+                  item.c_str());
+        cfg.tenantPolicies.push_back(kind);
     }
+    if (!cfg.tenantPolicies.empty() &&
+        cfg.tenantPolicies.size() != cfg.tenants)
+        fatal("CHERIVOKE_TENANT_POLICIES: %zu policies for %u "
+              "tenants",
+              cfg.tenantPolicies.size(), cfg.tenants);
+    const std::string backend = envStr(
+        "CHERIVOKE_BACKEND", revoke::backendName(cfg.backend));
+    if (!revoke::parseBackend(backend, cfg.backend))
+        fatal("CHERIVOKE_BACKEND: unknown backend '%s' (expected "
+              "sweep, color, or objid)",
+              backend.c_str());
+    for (const std::string &item :
+         envStrList("CHERIVOKE_TENANT_BACKENDS")) {
+        revoke::BackendKind kind;
+        if (!revoke::parseBackend(item, kind))
+            fatal("CHERIVOKE_TENANT_BACKENDS: unknown backend '%s'",
+                  item.c_str());
+        cfg.tenantBackends.push_back(kind);
+    }
+    if (!cfg.tenantBackends.empty() &&
+        cfg.tenantBackends.size() != cfg.tenants)
+        fatal("CHERIVOKE_TENANT_BACKENDS: %zu backends for %u "
+              "tenants",
+              cfg.tenantBackends.size(), cfg.tenants);
+    cfg.backendConfig.colors = static_cast<unsigned>(
+        envI64("CHERIVOKE_COLORS", cfg.backendConfig.colors));
+    cfg.backendConfig.allocsPerColor = static_cast<uint64_t>(
+        envI64("CHERIVOKE_ALLOCS_PER_COLOR",
+               static_cast<int64_t>(
+                   cfg.backendConfig.allocsPerColor)));
+    cfg.backendConfig.recycleFraction =
+        envF64("CHERIVOKE_RECYCLE_FRACTION",
+               cfg.backendConfig.recycleFraction);
+    cfg.backendConfig.idCompactRetired = static_cast<uint64_t>(
+        envI64("CHERIVOKE_ID_COMPACT",
+               static_cast<int64_t>(
+                   cfg.backendConfig.idCompactRetired)));
     cfg.tenantChurn = static_cast<unsigned>(
         envI64("CHERIVOKE_TENANT_CHURN", cfg.tenantChurn, 0));
     cfg.mutatorThreads = static_cast<unsigned>(
         envI64("CHERIVOKE_MUTATOR_THREADS", cfg.mutatorThreads));
     cfg.remoteBatch = static_cast<unsigned>(
         envI64("CHERIVOKE_REMOTE_BATCH", cfg.remoteBatch));
-    if (const char *plan = std::getenv("CHERIVOKE_FAULT_PLAN")) {
+    const std::string plan = envStr("CHERIVOKE_FAULT_PLAN", "");
+    if (!plan.empty()) {
         parseFaultPlan(plan); // strict: reject malformed text here
         cfg.faultPlanText = plan;
     }
@@ -141,6 +179,19 @@ defaultConfig()
     cfg.pageBudgetMiB =
         envF64("CHERIVOKE_PAGE_BUDGET_MIB", cfg.pageBudgetMiB, 0);
     return cfg;
+}
+
+/**
+ * Print the effective knob set — every CHERIVOKE_* variable this
+ * process has queried, with the value it actually ran under — to
+ * stderr, so figure data on stdout stays byte-stable across
+ * default and configured runs. Each bench calls this once, after
+ * its configuration is fully parsed.
+ */
+inline void
+printKnobs()
+{
+    announceEnvKnobs();
 }
 
 } // namespace bench

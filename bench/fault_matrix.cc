@@ -74,6 +74,7 @@ baseConfig()
     cfg.policy = revoke::PolicyKind::StopTheWorld;
     cfg.tenantWeights.clear();
     cfg.tenantPolicies.clear();
+    cfg.tenantBackends.clear();
     cfg.tenantHeapMiB = 0;
     cfg.tenantChurn = 0;
     cfg.scale = 1.0;
@@ -513,6 +514,7 @@ main()
 
     const workload::BenchmarkProfile profile = faultProfile();
     const sim::ExperimentConfig base = baseConfig();
+    bench::printKnobs();
     const uint64_t seed =
         base.faultSeed ? base.faultSeed : 0xC0FFEEULL;
 

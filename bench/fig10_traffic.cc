@@ -18,13 +18,16 @@ main()
     bench::printSystems(
         "Figure 10: Off-core-traffic overhead (%)");
 
+    const sim::ExperimentConfig base = bench::defaultConfig();
+    bench::printKnobs();
+
     stats::TextTable table({"benchmark", "traffic overhead"});
     for (const auto &profile : workload::specProfiles()) {
         if (profile.name == "ffmpeg") {
             // Keep the figure's SPEC ordering but include ffmpeg
             // first, as the paper's x-axis does.
         }
-        sim::ExperimentConfig cfg = bench::defaultConfig();
+        sim::ExperimentConfig cfg = base;
         cfg.modelTraffic = true;
         const sim::BenchResult r =
             sim::runBenchmark(profile, cfg);

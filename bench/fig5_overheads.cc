@@ -24,6 +24,7 @@ main()
                         "(25% heap overhead)");
 
     const sim::ExperimentConfig cfg = bench::defaultConfig();
+    bench::printKnobs();
 
     stats::TextTable time_tab({"benchmark", "CHERIvoke(ours)",
                                "CHERIvoke(paper)", "Oscar",

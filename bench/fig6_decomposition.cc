@@ -22,6 +22,7 @@ main()
                         "overheads (25% heap overhead)");
 
     const sim::ExperimentConfig cfg = bench::defaultConfig();
+    bench::printKnobs();
     stats::TextTable table({"benchmark", "quarantine only",
                             "+shadow", "+sweep (total)",
                             "model (sweep)"});

@@ -32,6 +32,9 @@ main()
     bench::printSystems("Figure 7: Sweep-loop DRAM bandwidth by "
                         "kernel (MiB/s)");
 
+    const sim::ExperimentConfig base = bench::defaultConfig();
+    bench::printKnobs();
+
     stats::TextTable table({"benchmark", "simple", "unrolled",
                             "AVX2"});
     std::vector<double> simple_col, unrolled_col, vec_col;
@@ -44,7 +47,7 @@ main()
             revoke::SweepKernel::Unrolled,
             revoke::SweepKernel::Vector};
         for (int k = 0; k < 3; ++k) {
-            sim::ExperimentConfig cfg = bench::defaultConfig();
+            sim::ExperimentConfig cfg = base;
             cfg.kernel = kernels[k];
             const sim::BenchResult r =
                 sim::runBenchmark(profile, cfg);

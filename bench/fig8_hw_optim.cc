@@ -88,11 +88,14 @@ main()
     bench::printSystems("Figure 8: Hardware work-elimination "
                         "(PTE CapDirty + CLoadTags)");
 
+    const sim::ExperimentConfig base = bench::defaultConfig();
+    bench::printKnobs();
+
     // --- (a) proportion of memory swept per benchmark ---
     std::printf("--- (a) Proportion of memory swept ---\n");
     stats::TextTable prop({"benchmark", "PTE CapDirty", "CLoadTags"});
     for (const auto &profile : workload::specProfiles()) {
-        sim::ExperimentConfig cfg = bench::defaultConfig();
+        sim::ExperimentConfig cfg = base;
         // PTE-only run measures page-level elimination.
         cfg.usePteCapDirty = true;
         cfg.useCloadTags = false;

@@ -19,10 +19,13 @@ main()
     bench::printSystems("Figure 9: Execution time vs heap overhead "
                         "(xalancbmk, omnetpp)");
 
+    const sim::ExperimentConfig base = bench::defaultConfig();
+    bench::printKnobs();
+
     stats::TextTable table({"heap overhead", "xalancbmk", "omnetpp"});
     for (double q : {0.10, 0.20, 0.25, 0.40, 0.60, 0.80, 1.00, 1.50,
                      2.00}) {
-        sim::ExperimentConfig cfg = bench::defaultConfig();
+        sim::ExperimentConfig cfg = base;
         cfg.quarantineFraction = q;
         const sim::BenchResult xalan = sim::runBenchmark(
             workload::profileFor("xalancbmk"), cfg);

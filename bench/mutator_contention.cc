@@ -170,6 +170,7 @@ main()
         envI64("CHERIVOKE_MUTATOR_OPS", 40000));
     const uint64_t msg_entries = static_cast<uint64_t>(
         envI64("CHERIVOKE_MSGPASS_ENTRIES", 50000));
+    bench::printKnobs();
     const unsigned hw = std::thread::hardware_concurrency();
     bool ok = true;
 

@@ -37,6 +37,9 @@ main()
                             "norm time", "epochs", "pauses",
                             "sweep DRAM KiB", "traffic=1T"});
 
+    const sim::ExperimentConfig base = bench::defaultConfig();
+    bench::printKnobs();
+
     // Reference DRAM totals at threads=1, per benchmark x policy.
     std::map<std::string, uint64_t> reference;
     bool all_match = true;
@@ -45,7 +48,7 @@ main()
         const auto &profile = workload::profileFor(name);
         for (const revoke::PolicyKind policy : policies) {
             for (const unsigned threads : thread_counts) {
-                sim::ExperimentConfig cfg = bench::defaultConfig();
+                sim::ExperimentConfig cfg = base;
                 cfg.policy = policy;
                 cfg.threads = threads;
                 cfg.modelTraffic = true;

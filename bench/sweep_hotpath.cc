@@ -97,6 +97,7 @@ main()
     const uint64_t allocs = static_cast<uint64_t>(
         envI64("CHERIVOKE_BENCH_ALLOCS", 80000));
     const double window = envF64("CHERIVOKE_BENCH_SECS", 0.2);
+    announceEnvKnobs();
 
     std::printf("==============================================\n");
     std::printf("Sweep/paint hot-path throughput "

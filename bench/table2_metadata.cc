@@ -23,6 +23,7 @@ main()
         "Table 2: Deallocation metadata from applications");
 
     const sim::ExperimentConfig cfg = bench::defaultConfig();
+    bench::printKnobs();
     stats::TextTable table({"benchmark", "pages w/ ptrs (paper)",
                             "(measured)", "free MiB/s (paper)",
                             "(measured)", "kfrees/s (paper)",

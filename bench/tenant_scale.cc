@@ -113,13 +113,14 @@ rowConfig(unsigned tenants)
     // The tenant count IS this bench's x-axis and the heap targets
     // come from sliceProfile, so the CHERIVOKE_TENANTS /
     // _TENANT_WEIGHTS / _TENANT_HEAP_MIB / _TENANT_POLICIES /
-    // _TENANT_CHURN overrides do not apply to the scaling rows
-    // (policy, threads, shards, and _TENANT_SCOPE still do; churn
-    // has its own phase below).
+    // _TENANT_BACKENDS / _TENANT_CHURN overrides do not apply to the
+    // scaling rows (policy, backend, threads, shards, and
+    // _TENANT_SCOPE still do; churn has its own phase below).
     cfg.tenants = tenants;
     cfg.tenantWeights.clear();
     cfg.tenantHeapMiB = 0;
     cfg.tenantPolicies.clear();
+    cfg.tenantBackends.clear();
     cfg.tenantChurn = 0;
     cfg.scale = 1.0; //!< real allocation counts, no scaling
     cfg.durationSec = 2.0;
@@ -273,6 +274,8 @@ main()
 
     bench::printSystems("Multi-tenant consolidation scaling "
                         "(bench/tenant_scale)");
+    (void)bench::defaultConfig();
+    bench::printKnobs();
     std::printf("aggregate live-allocation target: %llu across up "
                 "to %u tenants\n\n",
                 static_cast<unsigned long long>(agg_allocs),

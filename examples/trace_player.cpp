@@ -17,6 +17,7 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -29,6 +30,55 @@
 using namespace cherivoke;
 
 namespace {
+
+/** Human-readable codec version ("text", "binary v1 (classic)"...). */
+std::string
+codecVersionName(uint32_t version)
+{
+    switch (version) {
+      case 0: return "text";
+      case tenant::kTraceVersionClassic: return "binary v1 (classic)";
+      case tenant::kTraceVersionLifecycle:
+        return "binary v2 (lifecycle)";
+    }
+    return "binary v" + std::to_string(version) + " (unknown)";
+}
+
+/** Print codec version and the per-record-kind histogram, so a v2
+ *  lifecycle trace is distinguishable from a v1 one at a glance. */
+void
+printTraceShape(const workload::Trace &trace, uint32_t version)
+{
+    static const char *const kind_names[] = {
+        "malloc", "free", "storeptr", "storedata", "rootptr",
+        "spawntenant", "retiretenant"};
+    constexpr size_t kinds =
+        sizeof(kind_names) / sizeof(kind_names[0]);
+    uint64_t histogram[kinds] = {};
+    for (const workload::TraceOp &op : trace.ops) {
+        const auto k = static_cast<size_t>(op.kind);
+        if (k < kinds)
+            ++histogram[k];
+    }
+    std::printf("codec version: %s\n", codecVersionName(version).c_str());
+    std::printf("record kinds:\n");
+    for (size_t k = 0; k < kinds; ++k) {
+        if (histogram[k] > 0)
+            std::printf("  %-12s %llu\n", kind_names[k],
+                        static_cast<unsigned long long>(histogram[k]));
+    }
+}
+
+/** Header version of @p path's first bytes (0 = not binary). */
+uint32_t
+sniffFileVersion(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    uint8_t header[tenant::kTraceHeaderBytes] = {};
+    is.read(reinterpret_cast<char *>(header), sizeof(header));
+    return tenant::traceVersion(
+        header, static_cast<size_t>(is.gcount()));
+}
 
 workload::Trace
 demoTrace()
@@ -78,8 +128,11 @@ main(int argc, char **argv)
                     "virtual seconds, %zu bytes encoded\n",
                     trace.ops.size(), trace.virtualSeconds(),
                     bytes.size());
+        printTraceShape(
+            trace, tenant::traceVersion(bytes.data(), bytes.size()));
     } else if (argc > 1) {
         // Binary or text, decided by the file's magic.
+        const uint32_t version = sniffFileVersion(argv[1]);
         try {
             trace = tenant::loadTraceFile(argv[1]);
         } catch (const FatalError &err) {
@@ -88,10 +141,12 @@ main(int argc, char **argv)
         }
         std::printf("loaded %zu ops from %s\n", trace.ops.size(),
                     argv[1]);
+        printTraceShape(trace, version);
     } else {
         trace = demoTrace();
         std::printf("playing the built-in demo trace (%zu ops)\n",
                     trace.ops.size());
+        printTraceShape(trace, 0);
     }
 
     mem::AddressSpace space;

@@ -98,6 +98,16 @@ CherivokeAllocator::free(const cap::Capability &capability)
 {
     const DlAllocator::QuarantinedChunk chunk =
         dl_.quarantineFree(capability);
+    if (observer_ &&
+        observer_->onFree(chunk.addr, chunk.size,
+                          capability.base()) ==
+            FreeRouting::ReleaseNow) {
+        // Metadata-checked backends (colors, object IDs) make the
+        // memory reusable immediately: the stale references are
+        // caught by their per-use check, not by a tag sweep.
+        dl_.internalFree(chunk.addr, chunk.size);
+        return;
+    }
     c_quarantine_merges_->increment(
         quarantine_.add(dl_, chunk.addr, chunk.size));
 }
@@ -111,7 +121,7 @@ CherivokeAllocator::realloc(const cap::Capability &capability,
                   "realloc() through an untagged capability");
     const uint64_t old_payload = capability.base();
     const uint64_t old_usable = dl_.usableSize(old_payload);
-    cap::Capability fresh = dl_.malloc(new_size);
+    cap::Capability fresh = malloc(new_size);
     // Copy preserving capability tags, as a CheriABI memcpy would,
     // then quarantine the old allocation.
     const uint64_t copy = std::min<uint64_t>(old_usable, new_size);

@@ -38,6 +38,46 @@ struct CherivokeConfig
     DlConfig dl{};
 };
 
+/** How a freed chunk becomes safe to reuse. */
+enum class FreeRouting
+{
+    Quarantine,  //!< hold until a revocation sweep (CHERIvoke)
+    ReleaseNow,  //!< reuse immediately; safety comes from metadata
+};
+
+/**
+ * Revocation-backend hook into the allocation hot path. A backend
+ * that mints per-allocation metadata (capability colors, inline
+ * object IDs) installs itself here: onAlloc decorates the returned
+ * capability and/or stamps the chunk header; onFree decides whether
+ * the chunk quarantines (sweep-style) or releases immediately
+ * (color/ID-style, where stale references are caught by a metadata
+ * check instead of a tag sweep). The default implementation is the
+ * classic CHERIvoke behaviour, so an allocator without an observer
+ * is bit-identical to one with a pure-sweep observer.
+ */
+class AllocObserver
+{
+  public:
+    virtual ~AllocObserver() = default;
+
+    /** Decorate a freshly allocated capability (e.g. with a color). */
+    virtual cap::Capability onAlloc(const cap::Capability &capability)
+    {
+        return capability;
+    }
+
+    /** Route a free: quarantine (default) or release immediately. */
+    virtual FreeRouting
+    onFree(uint64_t chunk_addr, uint64_t chunk_size, uint64_t payload)
+    {
+        (void)chunk_addr;
+        (void)chunk_size;
+        (void)payload;
+        return FreeRouting::Quarantine;
+    }
+};
+
 /**
  * Paint every shard's quarantined runs, one worker thread per
  * non-empty shard, each through a shard-restricted ShadowMap::View
@@ -59,10 +99,17 @@ class CherivokeAllocator
 
     /** @name Program-facing API (CheriABI malloc/free) */
     /// @{
-    cap::Capability malloc(uint64_t size) { return dl_.malloc(size); }
-    cap::Capability calloc(uint64_t n, uint64_t size)
+    cap::Capability
+    malloc(uint64_t size)
     {
-        return dl_.calloc(n, size);
+        const cap::Capability c = dl_.malloc(size);
+        return observer_ ? observer_->onAlloc(c) : c;
+    }
+    cap::Capability
+    calloc(uint64_t n, uint64_t size)
+    {
+        const cap::Capability c = dl_.calloc(n, size);
+        return observer_ ? observer_->onAlloc(c) : c;
     }
 
     /**
@@ -136,6 +183,10 @@ class CherivokeAllocator
     uint64_t footprintBytes() const { return dl_.footprintBytes(); }
 
     uint64_t sweepsPrepared() const { return sweeps_; }
+
+    /** Install/replace the revocation-backend hook (may be null). */
+    void setObserver(AllocObserver *observer) { observer_ = observer; }
+    AllocObserver *observer() const { return observer_; }
     /// @}
 
   private:
@@ -146,6 +197,7 @@ class CherivokeAllocator
     CherivokeConfig config_;
     mem::TaggedMemory *mem_;
     uint64_t sweeps_ = 0;
+    AllocObserver *observer_ = nullptr;
     /** Cached counter (in dl_'s group): runs merged per free. */
     stats::Counter *c_quarantine_merges_ = nullptr;
 };

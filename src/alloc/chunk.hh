@@ -49,6 +49,18 @@ enum ChunkFlags : uint64_t
     kFlagMask = 0xf,
 };
 
+/**
+ * Inline object-ID tag (CHERI-D-style backend) packed into the high
+ * bits of the size word. Chunk sizes are bounded far below 2^40, so
+ * bits [63:40] hold a 24-bit ID without colliding with the size or
+ * the low-bit flags. size() masks the tag out; setHeader clears it
+ * (the backend re-stamps at allocation time).
+ */
+constexpr unsigned kIdTagShift = 40;
+constexpr uint64_t kIdTagMask = 0xffffffULL << kIdTagShift;
+/** Bits of the size word that actually encode the chunk size. */
+constexpr uint64_t kSizeMask = ~(kIdTagMask | kFlagMask);
+
 /** Header bytes before the payload. */
 constexpr uint64_t kChunkHeader = 16;
 /** Smallest legal chunk: header + room for fd/bk links. */
@@ -79,7 +91,7 @@ class ChunkView
     uint64_t payload() const { return addr_ + kChunkHeader; }
 
     uint64_t sizeWord() const { return read(addr_ + 8); }
-    uint64_t size() const { return sizeWord() & ~kFlagMask; }
+    uint64_t size() const { return sizeWord() & kSizeMask; }
     bool cinuse() const { return sizeWord() & kCinuse; }
     bool pinuse() const { return sizeWord() & kPinuse; }
     bool quarantined() const { return sizeWord() & kQuarantine; }
@@ -100,7 +112,22 @@ class ChunkView
     void
     setFlags(uint64_t flags)
     {
-        write(addr_ + 8, size() | flags);
+        write(addr_ + 8, (sizeWord() & ~kFlagMask) | flags);
+    }
+
+    /** Inline object-ID tag in the size word's high bits. */
+    uint32_t
+    idTag() const
+    {
+        return static_cast<uint32_t>(sizeWord() >> kIdTagShift);
+    }
+
+    void
+    setIdTag(uint32_t id)
+    {
+        write(addr_ + 8, (sizeWord() & ~kIdTagMask) |
+                             (static_cast<uint64_t>(id) << kIdTagShift &
+                              kIdTagMask));
     }
 
     void setPrevSize(uint64_t s) { write(addr_, s); }

@@ -102,7 +102,7 @@ Capability::setBounds(uint64_t new_length) const
                        "rounded bounds exceed current bounds; pad the "
                        "allocation per representableAlignmentMask()");
     }
-    return Capability(req_base, enc.enc, perms_, true);
+    return Capability(req_base, enc.enc, perms_, true, color_);
 }
 
 Capability
@@ -122,7 +122,7 @@ Capability::setBoundsExact(uint64_t new_length) const
         throw CapFault(FaultKind::Representability,
                        "bounds not exactly representable");
     }
-    return Capability(req_base, enc.enc, perms_, true);
+    return Capability(req_base, enc.enc, perms_, true, color_);
 }
 
 Capability
@@ -141,10 +141,23 @@ Capability::withTagCleared() const
     return result;
 }
 
+Capability
+Capability::withColor(uint8_t color) const
+{
+    Capability result = *this;
+    result.color_ = color & (cap::kMaxColors - 1);
+    return result;
+}
+
 uint64_t
 Capability::packHigh() const
 {
-    return (static_cast<uint64_t>(perms_ & 0x7fff) << 49) |
+    // Color rides in the 6 bits the 12 assigned permissions leave
+    // free: color[2:0] at [48:46], color[5:3] at [63:61]. A color of
+    // 0 reproduces the pre-color bit pattern exactly.
+    return (static_cast<uint64_t>(color_ & 0x38) << 58) |
+           (static_cast<uint64_t>(perms_ & kPermsAll) << 49) |
+           (static_cast<uint64_t>(color_ & 0x07) << 46) |
            (bounds_.bits & maskLow(46));
 }
 
@@ -153,8 +166,10 @@ Capability::unpack(uint64_t lo, uint64_t hi, bool tag)
 {
     Encoding enc;
     enc.bits = hi & maskLow(46);
-    const uint16_t perms = static_cast<uint16_t>((hi >> 49) & 0x7fff);
-    return Capability(lo, enc, perms, tag);
+    const uint16_t perms = static_cast<uint16_t>((hi >> 49) & kPermsAll);
+    const uint8_t color = static_cast<uint8_t>(
+        ((hi >> 46) & 0x7) | (((hi >> 61) & 0x7) << 3));
+    return Capability(lo, enc, perms, tag, color);
 }
 
 uint64_t

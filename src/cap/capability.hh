@@ -41,6 +41,18 @@ enum Perm : uint16_t
 /** All architecturally defined permissions. */
 constexpr uint16_t kPermsAll = 0x0fff;
 
+/**
+ * Allocation-color field width (PICASSO-style colored capabilities).
+ * Only 12 of the 15 architectural permission bits are assigned, so
+ * the packed high word has 6 spare bits — [48:46] between bounds and
+ * perms plus [63:61] above them — which hold a per-allocation color.
+ * Color 0 ("uncolored") packs to the exact pre-color bit pattern, so
+ * heaps that never color capabilities are bit-identical to before.
+ */
+constexpr unsigned kColorBits = 6;
+/** Number of distinct capability colors (color 0 = uncolored). */
+constexpr unsigned kMaxColors = 1u << kColorBits;
+
 /** The permissions a data allocator grants on returned objects. */
 constexpr uint16_t kPermsData =
     PermGlobal | PermLoad | PermStore | PermLoadCap | PermStoreCap |
@@ -73,6 +85,8 @@ class Capability
     uint64_t address() const { return address_; }
     uint16_t perms() const { return perms_; }
     bool hasPerm(uint16_t p) const { return (perms_ & p) == p; }
+    /** Allocation color (0 = uncolored). */
+    uint8_t color() const { return color_; }
 
     /** Lower bound (inclusive). Always within the original allocation. */
     uint64_t base() const;
@@ -121,6 +135,14 @@ class Capability
     /** Copy with the tag cleared (what a revocation sweep does). */
     Capability withTagCleared() const;
 
+    /**
+     * Copy with the allocation color replaced. Colors are allocator
+     * metadata, not authority, so this is not monotonic — but only
+     * the allocator mints colored capabilities, and derivations
+     * (setAddress/setBounds/andPerms) preserve the color.
+     */
+    Capability withColor(uint8_t color) const;
+
     /** In-place tag clear. */
     void clearTag() { tag_ = false; }
     /// @}
@@ -131,7 +153,8 @@ class Capability
     /** Low 64 bits: the address word. */
     uint64_t packLow() const { return address_; }
 
-    /** High 64 bits: perms [63:49] and compressed bounds [45:0]. */
+    /** High 64 bits: color [63:61]+[48:46], perms [60:49], and
+     *  compressed bounds [45:0]. */
     uint64_t packHigh() const;
 
     /** Rebuild from a 16-byte memory word and its tag bit. */
@@ -150,13 +173,16 @@ class Capability
     std::string toString() const;
 
   private:
-    Capability(uint64_t address, Encoding enc, uint16_t perms, bool tag)
-        : address_(address), bounds_(enc), perms_(perms), tag_(tag)
+    Capability(uint64_t address, Encoding enc, uint16_t perms, bool tag,
+               uint8_t color = 0)
+        : address_(address), bounds_(enc), perms_(perms), color_(color),
+          tag_(tag)
     {}
 
     uint64_t address_ = 0;
     Encoding bounds_{};
     uint16_t perms_ = 0;
+    uint8_t color_ = 0;
     bool tag_ = false;
 };
 

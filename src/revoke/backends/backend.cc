@@ -1,0 +1,55 @@
+#include "revoke/backends/backend.hh"
+
+#include "revoke/backends/color_backend.hh"
+#include "revoke/backends/objid_backend.hh"
+#include "revoke/backends/sweep_backend.hh"
+#include "support/logging.hh"
+
+namespace cherivoke {
+namespace revoke {
+
+const char *
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Sweep: return "sweep";
+      case BackendKind::Color: return "color";
+      case BackendKind::ObjectId: return "objid";
+    }
+    return "unknown";
+}
+
+bool
+parseBackend(const std::string &name, BackendKind &out)
+{
+    if (name == "sweep") {
+        out = BackendKind::Sweep;
+        return true;
+    }
+    if (name == "color" || name == "colors") {
+        out = BackendKind::Color;
+        return true;
+    }
+    if (name == "objid" || name == "object-id") {
+        out = BackendKind::ObjectId;
+        return true;
+    }
+    return false;
+}
+
+std::unique_ptr<RevocationBackend>
+makeBackend(BackendKind kind, const BackendConfig &config)
+{
+    switch (kind) {
+      case BackendKind::Sweep:
+        return std::make_unique<SweepBackend>(config);
+      case BackendKind::Color:
+        return std::make_unique<ColorBackend>(config);
+      case BackendKind::ObjectId:
+        return std::make_unique<ObjectIdBackend>(config);
+    }
+    panic("unknown backend kind");
+}
+
+} // namespace revoke
+} // namespace cherivoke

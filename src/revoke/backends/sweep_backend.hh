@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The classic CHERIvoke pipeline behind the backend interface:
+ * quarantine on free, and an epoch that freezes + paints the
+ * quarantine, sweeps registers and capability memory, then releases
+ * the frozen runs. This is a verbatim relocation of the epoch
+ * mechanics the RevocationEngine used to inline — the engine with a
+ * SweepBackend is bit-identical to the pre-backend engine.
+ */
+
+#ifndef CHERIVOKE_REVOKE_BACKENDS_SWEEP_BACKEND_HH
+#define CHERIVOKE_REVOKE_BACKENDS_SWEEP_BACKEND_HH
+
+#include <vector>
+
+#include "revoke/backends/backend.hh"
+
+namespace cherivoke {
+namespace revoke {
+
+class SweepBackend : public RevocationBackend
+{
+  public:
+    using RevocationBackend::RevocationBackend;
+
+    BackendKind kind() const override { return BackendKind::Sweep; }
+    const char *name() const override { return "sweep"; }
+
+    /** Quarantine at/over budget (paper: Q >= fraction * heap)? */
+    bool needsRevocation() const override;
+
+    void beginEpoch(EpochStats &epoch, bool want_barrier) override;
+    size_t step(EpochStats &epoch, size_t max_pages,
+                cache::Hierarchy *hierarchy) override;
+    void finishEpoch(EpochStats &epoch) override;
+
+    size_t
+    pagesRemaining() const override
+    {
+        return worklist_.size() - next_;
+    }
+
+    void releaseBarrier() override;
+
+  protected:
+    bool barrier_on_ = false;
+    std::vector<uint64_t> worklist_;
+    size_t next_ = 0;
+};
+
+} // namespace revoke
+} // namespace cherivoke
+
+#endif // CHERIVOKE_REVOKE_BACKENDS_SWEEP_BACKEND_HH

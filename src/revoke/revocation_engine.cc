@@ -153,7 +153,8 @@ RevocationEngine::RevocationEngine(
     CHERIVOKE_ASSERT(config_.pagesPerSlice > 0);
     CHERIVOKE_ASSERT(config_.paintShards > 0);
     domains_.push_back(Domain{&allocator, &space, EngineTotals{},
-                              nullptr, false});
+                              nullptr, nullptr, false});
+    attachBackend(0, config_.backend);
 }
 
 RevocationEngine::RevocationEngine(
@@ -166,9 +167,25 @@ RevocationEngine::RevocationEngine(
 
 RevocationEngine::~RevocationEngine()
 {
-    // Never leave a dangling barrier behind.
-    if (barrier_on_)
-        epochDomain().space->memory().removeLoadBarrier();
+    // Never leave a dangling barrier behind, and detach from every
+    // allocator that may outlive the engine.
+    for (Domain &dom : domains_) {
+        if (dom.backend)
+            dom.backend->releaseBarrier();
+        if (dom.allocator &&
+            dom.allocator->observer() == dom.backend.get())
+            dom.allocator->setObserver(nullptr);
+    }
+}
+
+void
+RevocationEngine::attachBackend(size_t index, BackendKind kind)
+{
+    Domain &dom = domains_[index];
+    dom.backend = makeBackend(kind, config_.backendConfig);
+    dom.backend->bind(BackendContext{dom.allocator, dom.space,
+                                     &sweeper_, config_.paintShards});
+    dom.allocator->setObserver(dom.backend.get());
 }
 
 size_t
@@ -187,7 +204,7 @@ RevocationEngine::bindDomain(size_t index,
                      "(bindDomain beyond the next fresh slot)");
     if (index == domains_.size()) {
         domains_.push_back(Domain{&allocator, &space, EngineTotals{},
-                                  nullptr, false});
+                                  nullptr, nullptr, false});
     } else {
         Domain &dom = domains_[index];
         CHERIVOKE_ASSERT(dom.retired,
@@ -195,8 +212,9 @@ RevocationEngine::bindDomain(size_t index,
         CHERIVOKE_ASSERT(!open_ || epoch_domain_ != index,
                          "(rebinding the open epoch's domain)");
         dom = Domain{&allocator, &space, EngineTotals{}, nullptr,
-                     false};
+                     nullptr, false};
     }
+    attachBackend(index, config_.backend);
     return index;
 }
 
@@ -209,6 +227,46 @@ RevocationEngine::setDomainPolicy(size_t index, PolicyKind kind)
                      "(policy change under an open epoch)");
     domains_[index].policy =
         kind == config_.policy ? nullptr : makePolicy(kind);
+}
+
+void
+RevocationEngine::setDomainBackend(size_t index, BackendKind kind)
+{
+    CHERIVOKE_ASSERT(index < domains_.size() &&
+                     !domains_[index].retired);
+    CHERIVOKE_ASSERT(!open_ || epoch_domain_ != index,
+                     "(backend change under an open epoch)");
+    attachBackend(index, kind);
+}
+
+RevocationBackend &
+RevocationEngine::domainBackend(size_t index)
+{
+    CHERIVOKE_ASSERT(index < domains_.size() &&
+                     domains_[index].backend);
+    return *domains_[index].backend;
+}
+
+const RevocationBackend &
+RevocationEngine::domainBackend(size_t index) const
+{
+    CHERIVOKE_ASSERT(index < domains_.size() &&
+                     domains_[index].backend);
+    return *domains_[index].backend;
+}
+
+void
+RevocationEngine::notePointerUse(uint64_t n)
+{
+    notePointerUse(active_, n);
+}
+
+void
+RevocationEngine::notePointerUse(size_t domain, uint64_t n)
+{
+    CHERIVOKE_ASSERT(domain < domains_.size() &&
+                     !domains_[domain].retired);
+    domains_[domain].backend->onPointerUse(n);
 }
 
 RevocationPolicy &
@@ -236,9 +294,13 @@ RevocationEngine::retireDomain(size_t index,
     CHERIVOKE_ASSERT(!dom.retired, "(retireDomain twice)");
     drainDomain(index, hierarchy);
     dom.retired = true;
+    if (dom.allocator &&
+        dom.allocator->observer() == dom.backend.get())
+        dom.allocator->setObserver(nullptr);
     dom.allocator = nullptr;
     dom.space = nullptr;
     dom.policy.reset();
+    dom.backend.reset();
     CHERIVOKE_ASSERT(active_ != index || allRetired(),
                      "(retiring the active domain with others "
                      "still live: selectDomain elsewhere first)");
@@ -273,7 +335,14 @@ RevocationEngine::domainTotals(size_t index) const
 bool
 RevocationEngine::quarantinePressure() const
 {
-    return allocator().needsSweep();
+    return domains_[active_].backend->needsRevocation();
+}
+
+size_t
+RevocationEngine::pagesRemaining() const
+{
+    return open_ ? domains_[epoch_domain_].backend->pagesRemaining()
+                 : 0;
 }
 
 bool
@@ -328,34 +397,13 @@ RevocationEngine::beginEpoch()
     epoch_domain_ = active_;
     Domain &dom = epochDomain();
     epoch_ = EpochStats{};
-    epoch_.bytesReleased = dom.allocator->quarantinedBytes();
 
-    // Freeze + paint this epoch's revocation set (sharded shadow-map
-    // views when configured).
-    epoch_.paint = dom.allocator->prepareSweep(config_.paintShards);
-
-    if (domainPolicy(epoch_domain_).needsLoadBarrier()) {
-        // The barrier: loads of painted-base capabilities are
-        // stripped. The shadow map is read-only for the duration of
-        // the epoch (later frees wait for the next epoch), so the
-        // predicate is stable. The shadow lives in the (possibly
-        // shared) TaggedMemory, so with co-resident tenants every
-        // tenant's loads are checked — isRevoked is a pure function
-        // of the address.
-        const alloc::ShadowMap &shadow = dom.allocator->shadowMap();
-        dom.space->memory().installLoadBarrier(
-            [&shadow](uint64_t base) {
-                return shadow.isRevoked(base);
-            });
-        barrier_on_ = true;
-    }
-
-    // Registers first: the mutator continues running out of them.
-    epoch_.sweep +=
-        sweeper_.sweepRegisters(*dom.space, dom.allocator->shadowMap());
-
-    worklist_ = sweeper_.buildWorklist(*dom.space, epoch_.sweep);
-    next_ = 0;
+    // The backend owns the mechanics: freeze + paint + register
+    // sweep + worklist for the sweep family, table work for the
+    // object-ID backend. Barrier-bearing policies ask for the
+    // load-side revocation barrier.
+    dom.backend->beginEpoch(
+        epoch_, domainPolicy(epoch_domain_).needsLoadBarrier());
 
     // The revocation set is now frozen: let observers (the mutator
     // front-end's epoch-boundary recorder) mark the spot where their
@@ -368,40 +416,19 @@ size_t
 RevocationEngine::step(size_t max_pages, cache::Hierarchy *hierarchy)
 {
     CHERIVOKE_ASSERT(open_, "(step without an open epoch)");
-    Domain &dom = epochDomain();
-    if (next_ < worklist_.size() && max_pages > 0) {
-        const size_t end = next_ + std::min(max_pages,
-                                            worklist_.size() - next_);
-        epoch_.sweep += sweeper_.sweepPages(
-            *dom.space, dom.allocator->shadowMap(), worklist_, next_,
-            end, hierarchy);
-        next_ = end;
-        ++epoch_.slices;
-    }
-    return worklist_.size() - next_;
+    return epochDomain().backend->step(epoch_, max_pages, hierarchy);
 }
 
 void
 RevocationEngine::finishEpoch()
 {
     CHERIVOKE_ASSERT(open_, "(finish without an open epoch)");
-    CHERIVOKE_ASSERT(next_ == worklist_.size(),
+    Domain &dom = epochDomain();
+    CHERIVOKE_ASSERT(dom.backend->pagesRemaining() == 0,
                      "(worklist not drained: call step() to "
                      "completion first)");
-    Domain &dom = epochDomain();
-    if (barrier_on_) {
-        // The registers once more (they were swept at begin and the
-        // barrier kept them clean, but it is cheap), then the
-        // barrier comes off.
-        epoch_.sweep += sweeper_.sweepRegisters(
-            *dom.space, dom.allocator->shadowMap());
-        dom.space->memory().removeLoadBarrier();
-        barrier_on_ = false;
-    }
-    epoch_.internalFrees = dom.allocator->finishSweep();
+    dom.backend->finishEpoch(epoch_);
     open_ = false;
-    worklist_.clear();
-    next_ = 0;
 
     auto accumulate = [this](EngineTotals &totals) {
         ++totals.epochs;

@@ -31,9 +31,15 @@
  * accumulate both engine-wide (totals()) and per domain
  * (domainTotals()).
  *
- * Domains are *heterogeneous*: each can carry its own policy
- * (setDomainPolicy), so one tenant runs concurrent revocation while
- * a neighbour stops the world on the same engine. Arbitration is
+ * Domains are *heterogeneous* on two axes: each can carry its own
+ * scheduling policy (setDomainPolicy), so one tenant runs concurrent
+ * revocation while a neighbour stops the world on the same engine —
+ * and each carries its own *revocation backend* (setDomainBackend,
+ * revoke/backends/): the CHERIvoke quarantine+sweep pipeline, the
+ * PICASSO-style colored-capability recycler, or the CHERI-D-style
+ * inline object-ID checker. The engine delegates the epoch mechanics
+ * (beginEpoch / step / finishEpoch bodies) to the owning domain's
+ * backend and keeps arbitration, policies, and statistics here. Arbitration is
  * epoch-owner-wins: at most one epoch is open engine-wide, and while
  * it is open every pump — whichever domain issued it — advances it
  * under the *owning* domain's policy (cross-tenant assist); a
@@ -57,21 +63,11 @@
 #include <vector>
 
 #include "alloc/cherivoke_alloc.hh"
+#include "revoke/backends/backend.hh"
 #include "revoke/sweeper.hh"
 
 namespace cherivoke {
 namespace revoke {
-
-/** Statistics for one complete revocation epoch. */
-struct EpochStats
-{
-    alloc::PaintStats paint;
-    SweepStats sweep;
-    uint64_t internalFrees = 0;
-    uint64_t bytesReleased = 0;
-    /** Bounded sweep pauses the epoch was divided into. */
-    uint64_t slices = 0;
-};
 
 /** Cumulative statistics across all epochs. */
 struct EngineTotals
@@ -113,6 +109,11 @@ struct EngineConfig
     /** Shards the quarantine is split into for painting (per-shard
      *  shadow-map views; 1 = unsharded). */
     unsigned paintShards = 1;
+    /** Default revocation backend for every domain (overridable per
+     *  domain via setDomainBackend, like per-domain policies). */
+    BackendKind backend = BackendKind::Sweep;
+    /** Tunables for the metadata-bearing backends. */
+    BackendConfig backendConfig{};
 };
 
 class RevocationEngine;
@@ -199,6 +200,25 @@ class RevocationEngine
      * while this domain's epoch is open.
      */
     void setDomainPolicy(size_t index, PolicyKind kind);
+
+    /**
+     * Give domain @p index its own revocation backend (overriding
+     * the engine-wide default from EngineConfig). The fresh backend
+     * starts with empty metadata, so switch before the domain
+     * allocates. Must not be changed while this domain's epoch is
+     * open.
+     */
+    void setDomainBackend(size_t index, BackendKind kind);
+
+    /** The backend serving domain @p index. */
+    RevocationBackend &domainBackend(size_t index);
+    const RevocationBackend &domainBackend(size_t index) const;
+
+    /** Backend-specific statistics of domain @p index. */
+    const BackendStats &domainBackendStats(size_t index) const
+    {
+        return domainBackend(index).stats();
+    }
 
     /**
      * Take domain @p index out of service (tenant teardown): drains
@@ -318,8 +338,18 @@ class RevocationEngine
         epoch_open_hook_ = std::move(hook);
     }
 
-    /** Pages remaining in the open epoch's worklist. */
-    size_t pagesRemaining() const { return worklist_.size() - next_; }
+    /** Work units remaining in the open epoch (0 when closed). */
+    size_t pagesRemaining() const;
+
+    /**
+     * Model @p n pointer dereferences against the active domain's
+     * backend (the object-ID backend counts a per-use check; sweep
+     * and color backends check nothing on use). The trace replayer
+     * calls this for every pointer-op it applies.
+     */
+    void notePointerUse(uint64_t n = 1);
+    /** As above, against an explicit domain (multi-tenant hosts). */
+    void notePointerUse(size_t domain, uint64_t n);
     /// @}
 
     /** @name Introspection */
@@ -343,9 +373,16 @@ class RevocationEngine
         EngineTotals totals;
         /** Per-domain policy override; null → the engine default. */
         std::unique_ptr<RevocationPolicy> policy;
+        /** The domain's revocation backend (always present on a
+         *  live domain; also its allocator's observer). */
+        std::unique_ptr<RevocationBackend> backend;
         /** Out of service (tenant retired); slot reusable. */
         bool retired = false;
     };
+
+    /** Instantiate + bind a backend for a live domain and install
+     *  it as the allocator's observer. */
+    void attachBackend(size_t index, BackendKind kind);
 
     /** The active domain's allocator (pressure checks, new epochs). */
     alloc::CherivokeAllocator &allocator() const
@@ -368,9 +405,6 @@ class RevocationEngine
 
     EpochStats epoch_;
     bool open_ = false;
-    bool barrier_on_ = false;
-    std::vector<uint64_t> worklist_;
-    size_t next_ = 0;
 };
 
 } // namespace revoke

@@ -102,6 +102,8 @@ engineConfigFor(const ExperimentConfig &config)
     engine_cfg.policy = config.policy;
     engine_cfg.pagesPerSlice = config.pagesPerSlice;
     engine_cfg.paintShards = config.paintShards;
+    engine_cfg.backend = config.backend;
+    engine_cfg.backendConfig = config.backendConfig;
     return engine_cfg;
 }
 
@@ -133,6 +135,7 @@ runBenchmark(const workload::BenchmarkProfile &profile,
 
     workload::TraceDriver driver(space, allocator, &revoker);
     result.run = driver.run(trace, hierarchy.get());
+    result.backendStats = revoker.domainBackendStats(0);
     const workload::DriverResult &run = result.run;
     const double vt = std::max(run.virtualSeconds, 1e-9);
 
@@ -341,6 +344,10 @@ runMultiTenantBenchmark(const workload::BenchmarkProfile &profile,
         config.tenantPolicies.size() != config.tenants)
         fatal("tenantPolicies has %zu entries for %u tenants",
               config.tenantPolicies.size(), config.tenants);
+    if (!config.tenantBackends.empty() &&
+        config.tenantBackends.size() != config.tenants)
+        fatal("tenantBackends has %zu entries for %u tenants",
+              config.tenantBackends.size(), config.tenants);
 
     MultiTenantBenchResult result;
     result.name = profile.name;
@@ -389,6 +396,8 @@ runMultiTenantBenchmark(const workload::BenchmarkProfile &profile,
         tcfg.stackBytes = config.stackBytes;
         if (!config.tenantPolicies.empty())
             tcfg.policy = config.tenantPolicies[i];
+        if (!config.tenantBackends.empty())
+            tcfg.backend = config.tenantBackends[i];
         manager.addTenant(tcfg, (*traces)[i]);
     }
 

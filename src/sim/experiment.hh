@@ -49,6 +49,11 @@ struct ExperimentConfig
     unsigned threads = 1;
     /** Epoch scheduling policy the revocation engine dispatches to. */
     revoke::PolicyKind policy = revoke::PolicyKind::StopTheWorld;
+    /** How freed memory becomes safe to reuse (CHERIVOKE_BACKEND):
+     *  quarantine+sweep, colored capabilities, or inline object IDs. */
+    revoke::BackendKind backend = revoke::BackendKind::Sweep;
+    /** Backend tuning (color pool size, compaction thresholds...). */
+    revoke::BackendConfig backendConfig{};
     /** Pages per bounded pause (incremental/concurrent policies). */
     size_t pagesPerSlice = 64;
     /** Quarantine address bands painted concurrently at epoch open
@@ -81,6 +86,11 @@ struct ExperimentConfig
      *  mixed list makes tenants heterogeneous on the one shared
      *  engine (epoch-owner-wins arbitration). */
     std::vector<revoke::PolicyKind> tenantPolicies;
+    /** Per-tenant revocation backends (CHERIVOKE_TENANT_BACKENDS,
+     *  comma-separated); empty = every tenant runs `backend`. The
+     *  second heterogeneity axis beside tenantPolicies: domains on
+     *  the one shared engine may mix sweep/color/objid backends. */
+    std::vector<revoke::BackendKind> tenantBackends;
     /** Tenant-churn cycles (CHERIVOKE_TENANT_CHURN): when > 0,
      *  tenant 0's trace gains that many deterministic
      *  spawn→retire cycles of short-lived extra tenants, exercising
@@ -144,6 +154,10 @@ struct BenchResult
     /** Sweep DRAM traffic: modelled hierarchy totals when
      *  modelTraffic is on, the shared approximation otherwise. */
     uint64_t sweepDramBytes = 0;
+
+    /** Backend-specific counters (color table churn, ID checks...)
+     *  from the run's revocation backend (domain 0). */
+    revoke::BackendStats backendStats{};
 };
 
 /** Run one benchmark profile under one configuration. */

@@ -7,6 +7,59 @@
 
 namespace cherivoke {
 
+namespace {
+
+std::vector<EnvKnob> &
+knobRegistry()
+{
+    static std::vector<EnvKnob> registry;
+    return registry;
+}
+
+void
+recordKnob(const char *name, std::string value, bool from_env)
+{
+    for (EnvKnob &knob : knobRegistry()) {
+        if (knob.name == name) {
+            knob.value = std::move(value);
+            knob.fromEnv = from_env;
+            return;
+        }
+    }
+    knobRegistry().push_back(EnvKnob{name, std::move(value), from_env});
+}
+
+std::string
+renderF64(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    return buf;
+}
+
+} // namespace
+
+const std::vector<EnvKnob> &
+envKnobs()
+{
+    return knobRegistry();
+}
+
+void
+printEnvKnobs(std::FILE *out)
+{
+    if (envKnobs().empty()) {
+        std::fprintf(out, "  (none queried)\n");
+        return;
+    }
+    for (const EnvKnob &knob : envKnobs()) {
+        std::fprintf(out, "  %-26s = %s (%s)\n", knob.name.c_str(),
+                     knob.value.empty() ? "(unset)"
+                                        : knob.value.c_str(),
+                     knob.fromEnv ? "env" : "default");
+    }
+}
+
 bool
 parseI64(const std::string &text, int64_t &out)
 {
@@ -35,12 +88,22 @@ parseF64(const std::string &text, double &out)
     return true;
 }
 
+void
+announceEnvKnobs()
+{
+    std::fprintf(stderr, "Effective CHERIVOKE_* knobs:\n");
+    printEnvKnobs(stderr);
+    std::fprintf(stderr, "\n");
+}
+
 int64_t
 envI64(const char *name, int64_t fallback, int64_t min)
 {
     const char *text = std::getenv(name);
-    if (!text)
+    if (!text) {
+        recordKnob(name, std::to_string(fallback), false);
         return fallback;
+    }
     int64_t value = 0;
     if (!parseI64(text, value))
         fatal("%s: expected an integer, got '%s'", name, text);
@@ -48,6 +111,7 @@ envI64(const char *name, int64_t fallback, int64_t min)
         fatal("%s: %lld is below the minimum %lld", name,
               static_cast<long long>(value),
               static_cast<long long>(min));
+    recordKnob(name, std::to_string(value), true);
     return value;
 }
 
@@ -55,14 +119,17 @@ double
 envF64(const char *name, double fallback, double min)
 {
     const char *text = std::getenv(name);
-    if (!text)
+    if (!text) {
+        recordKnob(name, renderF64(fallback), false);
         return fallback;
+    }
     double value = 0;
     if (!parseF64(text, value))
         fatal("%s: expected a number, got '%s'", name, text);
     if (value < min || (min == 0 && value <= 0))
         fatal("%s: %g is out of range (must be %s %g)", name, value,
               min == 0 ? ">" : ">=", min);
+    recordKnob(name, renderF64(value), true);
     return value;
 }
 
@@ -70,6 +137,7 @@ std::vector<double>
 envF64List(const char *name)
 {
     const char *text = std::getenv(name);
+    recordKnob(name, text ? text : "", text != nullptr);
     if (!text)
         return {};
     std::vector<double> values;
@@ -87,6 +155,35 @@ envF64List(const char *name)
         pos = comma + 1;
     }
     return values;
+}
+
+std::string
+envStr(const char *name, const std::string &fallback)
+{
+    const char *text = std::getenv(name);
+    recordKnob(name, text ? text : fallback, text != nullptr);
+    return text ? text : fallback;
+}
+
+std::vector<std::string>
+envStrList(const char *name)
+{
+    const char *text = std::getenv(name);
+    recordKnob(name, text ? text : "", text != nullptr);
+    if (!text)
+        return {};
+    std::vector<std::string> items;
+    const std::string all(text);
+    size_t pos = 0;
+    while (pos <= all.size()) {
+        const size_t comma = std::min(all.find(',', pos), all.size());
+        const std::string item = all.substr(pos, comma - pos);
+        if (item.empty())
+            fatal("%s: empty item in list '%s'", name, text);
+        items.push_back(item);
+        pos = comma + 1;
+    }
+    return items;
 }
 
 } // namespace cherivoke

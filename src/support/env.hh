@@ -12,10 +12,25 @@
 #define CHERIVOKE_SUPPORT_ENV_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 namespace cherivoke {
+
+/**
+ * One entry of the knob registry: every env* query below records the
+ * knob's name and *effective* value (the parsed environment text, or
+ * the caller's fallback rendered as text), so a bench can print the
+ * exact configuration it ran under — defaults included — in one
+ * format from one place.
+ */
+struct EnvKnob
+{
+    std::string name;     //!< CHERIVOKE_* variable name
+    std::string value;    //!< effective value, rendered as text
+    bool fromEnv = false; //!< true when the environment supplied it
+};
 
 /** Strictly parse all of @p text as a decimal integer.
  *  @return false on empty input, trailing garbage, or overflow */
@@ -40,6 +55,29 @@ double envF64(const char *name, double fallback, double min = 0);
  * malformed or non-positive entries → fatal().
  */
 std::vector<double> envF64List(const char *name);
+
+/** String environment knob: @p fallback when unset (no validation
+ *  beyond non-emptiness of the registry record). */
+std::string envStr(const char *name, const std::string &fallback);
+
+/**
+ * Comma-separated list of raw strings (the caller validates each
+ * item, e.g. against a policy or backend name table). Unset → empty
+ * vector; set-but-empty items → fatal().
+ */
+std::vector<std::string> envStrList(const char *name);
+
+/** Every knob queried so far, in first-query order; a repeated
+ *  query updates its recorded value in place. */
+const std::vector<EnvKnob> &envKnobs();
+
+/** Print `name = value (env|default)` lines for every recorded
+ *  knob (the bench startup "effective knob set" block). */
+void printEnvKnobs(std::FILE *out);
+
+/** The full startup block — header, knob lines, blank line — on
+ *  stderr, so figure data on stdout stays byte-stable. */
+void announceEnvKnobs();
 
 } // namespace cherivoke
 

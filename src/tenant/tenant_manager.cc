@@ -155,11 +155,18 @@ TenantManager::activate(uint64_t id, const TenantConfig &config,
     }
     if (config.policy)
         engine_->setDomainPolicy(slot, *config.policy);
+    if (config.backend)
+        engine_->setDomainBackend(slot, *config.backend);
 
     auto r = std::make_unique<workload::TraceReplayer>(
         t->space(), t->allocator(), engine_.get(), t->trace());
     r->setPump([this, slot](cache::Hierarchy *h) {
         pumpFor(slot, h);
+    });
+    // Per-use checks bill this tenant's own domain, never whichever
+    // domain happens to be selected.
+    r->setDeref([this, slot](uint64_t n) {
+        engine_->notePointerUse(slot, n);
     });
     // Finishing (or retiring) this tenant must never complete a
     // neighbour's in-flight epoch: drain only our own domain's.

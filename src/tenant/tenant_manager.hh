@@ -131,6 +131,10 @@ struct TenantConfig
      *  the engine-wide default. Mixing policies on one engine is
      *  supported (epoch-owner-wins arbitration). */
     std::optional<revoke::PolicyKind> policy;
+    /** Revocation backend for this tenant's engine domain; unset →
+     *  the engine-wide default. Backends mix freely across tenants
+     *  (each domain owns its backend and metadata). */
+    std::optional<revoke::BackendKind> backend;
 };
 
 /** One hosted tenant: its region, allocator, and trace. */

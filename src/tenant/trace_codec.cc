@@ -214,6 +214,14 @@ isBinaryTrace(const uint8_t *data, size_t size)
     return size >= sizeof(uint64_t) && getU64(data) == kTraceMagic;
 }
 
+uint32_t
+traceVersion(const uint8_t *data, size_t size)
+{
+    if (!isBinaryTrace(data, size) || size < kTraceHeaderBytes)
+        return 0;
+    return getU32(&data[8]);
+}
+
 void
 saveTraceFile(const std::string &path, const workload::Trace &trace)
 {

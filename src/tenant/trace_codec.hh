@@ -83,6 +83,11 @@ workload::Trace decodeTrace(const std::vector<uint8_t> &bytes);
 /** True when @p data begins with the binary trace magic. */
 bool isBinaryTrace(const uint8_t *data, size_t size);
 
+/** Header version of a binary trace image — sniffing only, no
+ *  validation beyond the magic. @return 0 when @p data is not a
+ *  binary trace (e.g. the text format). */
+uint32_t traceVersion(const uint8_t *data, size_t size);
+
 /** Write @p trace to @p path in the binary format. */
 void saveTraceFile(const std::string &path,
                    const workload::Trace &trace);

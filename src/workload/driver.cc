@@ -61,6 +61,10 @@ TraceReplayer::TraceReplayer(mem::AddressSpace &space,
         if (engine_ && engine_->epochOpen())
             engine_->drain(hierarchy);
     };
+    deref_ = [this](uint64_t n) {
+        if (engine_)
+            engine_->notePointerUse(n);
+    };
 }
 
 void
@@ -139,6 +143,7 @@ TraceReplayer::step(cache::Hierarchy *hierarchy)
             ~(kCapBytes - 1);
         memory.writeCap(dst->second.base() + offset, src->second);
         ++result_.ptrStores;
+        deref_(1);
         break;
       }
       case OpKind::StoreData: {
@@ -153,6 +158,7 @@ TraceReplayer::step(cache::Hierarchy *hierarchy)
             std::min<uint64_t>(op.offset, usable - 8) & ~7ULL;
         memory.storeU64(dst->second, dst->second.base() + offset,
                         0x5a5a5a5a5a5a5a5aULL);
+        deref_(1);
         break;
       }
       case OpKind::RootPtr: {
@@ -163,6 +169,7 @@ TraceReplayer::step(cache::Hierarchy *hierarchy)
         const uint64_t slot = op.offset % slots;
         memory.writeCap(space_->globals().base + slot * kCapBytes,
                         src->second);
+        deref_(1);
         break;
       }
       case OpKind::SpawnTenant:

@@ -79,6 +79,7 @@ class TraceReplayer
     using PumpFn = std::function<void(cache::Hierarchy *)>;
     using DrainFn = std::function<void(cache::Hierarchy *)>;
     using LifecycleFn = std::function<void(const TraceOp &)>;
+    using DerefFn = std::function<void(uint64_t)>;
 
     /**
      * @param engine nullable: without it, frees quarantine but no
@@ -91,6 +92,16 @@ class TraceReplayer
 
     /** Replace the engine pump (multi-tenant scheduling hook). */
     void setPump(PumpFn pump) { pump_ = std::move(pump); }
+
+    /**
+     * Replace the pointer-dereference hook, called with a use count
+     * for every applied pointer op (StorePtr/StoreData/RootPtr). The
+     * default reports to the engine's active domain
+     * (RevocationEngine::notePointerUse) so per-use-check backends
+     * account their check cost; a multi-tenant host narrows it to
+     * this tenant's own domain.
+     */
+    void setDeref(DerefFn deref) { deref_ = std::move(deref); }
 
     /**
      * Replace finish()'s end-of-replay drain. The default drains
@@ -167,6 +178,7 @@ class TraceReplayer
     PumpFn pump_;
     DrainFn drain_;
     LifecycleFn lifecycle_;
+    DerefFn deref_;
 
     /** trace id -> cap. Hash map, never iterated: the mutator pays
      *  O(1) per op where the former ordered map paid O(log n) at

@@ -38,6 +38,7 @@ TEST(ReleaseRace, DisjointMutatorsSurviveRepeatedRelease)
 
     std::atomic<bool> stop{false};
     std::atomic<uint64_t> writes{0};
+    std::atomic<unsigned> started{0};
     std::vector<std::thread> workers;
     workers.reserve(kWorkers);
     for (unsigned w = 0; w < kWorkers; ++w) {
@@ -56,9 +57,17 @@ TEST(ReleaseRace, DisjointMutatorsSurviveRepeatedRelease)
                     std::abort(); // gtest asserts aren't thread-safe
                 ++cursor;
                 writes.fetch_add(1, std::memory_order_relaxed);
+                if (cursor == 1)
+                    started.fetch_add(1, std::memory_order_relaxed);
             }
         });
     }
+
+    // On a single-CPU host the release loop below can otherwise
+    // finish before any worker is ever scheduled, so wait until
+    // every worker has written (and thus owns resident pages).
+    while (started.load(std::memory_order_relaxed) < kWorkers)
+        std::this_thread::yield();
 
     for (unsigned round = 0; round < 50; ++round) {
         // Materialise a handful of pages in the scratch stride,

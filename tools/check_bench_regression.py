@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Diff the deterministic fields of fresh BENCH_*.json files against a
+previous run's artifacts.
+
+Usage:
+    check_bench_regression.py BASELINE_DIR FRESH_DIR [NAME...]
+
+BASELINE_DIR holds the previous run's BENCH_*.json files (any nesting
+— artifact downloads place each file in its own subdirectory); the
+newest match wins when a name appears more than once. FRESH_DIR holds
+this run's files. NAMEs limit the comparison (e.g. "BENCH_tenant");
+default is every BENCH_*.json present in FRESH_DIR.
+
+Wall-clock-derived fields (wall_sec, *_per_sec, scan rates, speedups,
+hw_concurrency) are stripped from both sides before comparing; every
+remaining field is deterministic by the benches' own two-pass gates,
+so any difference is a real behaviour change, not noise.
+
+Exit status: 0 = no drift (or nothing to compare), 1 = drift,
+2 = usage error. A missing baseline for a fresh file is a skip, not a
+failure, so the first run after adding a bench passes.
+"""
+
+import json
+import pathlib
+import sys
+
+VOLATILE_KEYS = {"sec_per_iter", "hw_concurrency"}
+
+
+def is_volatile(key):
+    """True for wall-clock-derived (run-to-run noisy) JSON keys."""
+    return (
+        key in VOLATILE_KEYS
+        or "wall" in key
+        or "speedup" in key
+        or key.endswith("_sec")      # wall_sec, containment_sec...
+        or key.endswith("_per_sec")  # ops_per_sec, pages_per_sec...
+        or key.endswith("_rate")     # scan_rate, raw_span_rate
+    )
+
+
+def strip_volatile(node):
+    """Recursively drop volatile keys from a decoded JSON value."""
+    if isinstance(node, dict):
+        return {
+            k: strip_volatile(v)
+            for k, v in node.items()
+            if not is_volatile(k)
+        }
+    if isinstance(node, list):
+        return [strip_volatile(v) for v in node]
+    return node
+
+
+def diff(path, old, new, out):
+    """Collect human-readable differences between two stripped trees."""
+    if type(old) is not type(new):
+        out.append("  %s: type %s -> %s" % (
+            path, type(old).__name__, type(new).__name__))
+        return
+    if isinstance(old, dict):
+        for key in sorted(set(old) | set(new)):
+            sub = "%s.%s" % (path, key) if path else key
+            if key not in old:
+                out.append("  %s: added" % sub)
+            elif key not in new:
+                out.append("  %s: removed" % sub)
+            else:
+                diff(sub, old[key], new[key], out)
+    elif isinstance(old, list):
+        if len(old) != len(new):
+            out.append("  %s: length %d -> %d" % (
+                path, len(old), len(new)))
+        for i, (a, b) in enumerate(zip(old, new)):
+            diff("%s[%d]" % (path, i), a, b, out)
+    elif old != new:
+        out.append("  %s: %r -> %r" % (path, old, new))
+
+
+def find_baseline(baseline_dir, name):
+    """Newest file called `name` anywhere under the baseline dir."""
+    matches = sorted(
+        baseline_dir.rglob(name),
+        key=lambda p: p.stat().st_mtime,
+        reverse=True,
+    )
+    return matches[0] if matches else None
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    baseline_dir = pathlib.Path(argv[1])
+    fresh_dir = pathlib.Path(argv[2])
+    names = [n if n.endswith(".json") else n + ".json"
+             for n in argv[3:]]
+    if not names:
+        names = sorted(p.name for p in fresh_dir.glob("BENCH_*.json"))
+    if not names:
+        print("no BENCH_*.json in %s; nothing to compare" % fresh_dir)
+        return 0
+
+    drift = False
+    for name in names:
+        fresh_path = fresh_dir / name
+        if not fresh_path.is_file():
+            print("%-20s SKIP (not produced by this run)" % name)
+            continue
+        base_path = find_baseline(baseline_dir, name)
+        if base_path is None:
+            print("%-20s SKIP (no baseline artifact)" % name)
+            continue
+        try:
+            old = strip_volatile(json.loads(base_path.read_text()))
+            new = strip_volatile(json.loads(fresh_path.read_text()))
+        except (OSError, ValueError) as err:
+            print("%-20s SKIP (unreadable: %s)" % (name, err))
+            continue
+        lines = []
+        diff("", old, new, lines)
+        if lines:
+            drift = True
+            print("%-20s DRIFT (%d deterministic fields differ):"
+                  % (name, len(lines)))
+            for line in lines[:50]:
+                print(line)
+            if len(lines) > 50:
+                print("  ... %d more" % (len(lines) - 50))
+        else:
+            print("%-20s OK" % name)
+
+    if drift:
+        print("deterministic bench fields drifted from the previous "
+              "run; if intended, this run's artifacts become the new "
+              "baseline once merged")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
