@@ -79,6 +79,16 @@ printSystems(const char *title)
  *                              triggers a recycling scan (default 0.5)
  *   CHERIVOKE_ID_COMPACT     = retired object-IDs that trigger a
  *                              table-compaction epoch (default 4096)
+ *   CHERIVOKE_BG_SWEEPER     = 1 runs a true background sweeper
+ *                              thread per engine racing the mutators
+ *                              (modelled statistics stay
+ *                              bit-identical; default 0)
+ *   CHERIVOKE_EPOCH_DEADLINE_MS = explicit per-epoch sweeper
+ *                              deadline in ms, > 0; leave unset to
+ *                              derive it from the sweep-cost model
+ *   CHERIVOKE_SWEEPER_RETRIES= bounded watchdog retries with
+ *                              exponential backoff before the
+ *                              degradation ladder fires (default 2)
  *
  * Parsing is strict (support/env.hh): a set-but-malformed value such
  * as CHERIVOKE_THREADS=abc fails the run with a clear error instead
@@ -88,6 +98,10 @@ printSystems(const char *title)
 inline sim::ExperimentConfig
 defaultConfig()
 {
+    // First: reject misspelled CHERIVOKE_* variables outright, with
+    // a nearest-knob suggestion. A typo'd knob is never queried, so
+    // strict per-knob parsing alone cannot catch it.
+    validateEnvironment();
     sim::ExperimentConfig cfg;
     cfg.quarantineFraction = 0.25;
     cfg.kernel = revoke::SweepKernel::Vector;
@@ -178,6 +192,11 @@ defaultConfig()
         envI64("CHERIVOKE_FAULT_SEED", 0, 0));
     cfg.pageBudgetMiB =
         envF64("CHERIVOKE_PAGE_BUDGET_MIB", cfg.pageBudgetMiB, 0);
+    cfg.bgSweeper = envI64("CHERIVOKE_BG_SWEEPER", 0, 0) != 0;
+    cfg.epochDeadlineMs = envF64("CHERIVOKE_EPOCH_DEADLINE_MS",
+                                 cfg.epochDeadlineMs, 0);
+    cfg.sweeperRetries = static_cast<unsigned>(
+        envI64("CHERIVOKE_SWEEPER_RETRIES", cfg.sweeperRetries, 0));
     return cfg;
 }
 

@@ -18,9 +18,16 @@
  *    at least one tenant, and leave at least one tenant to finish;
  *  - seeded-plan determinism: the same CHERIVOKE_FAULT_SEED yields
  *    the same plan text and a bit-identical replay;
+ *  - supervision matrix: with the background sweeper enabled, one
+ *    cell per degradation-ladder rung (slow sweeper that recovers on
+ *    bounded retries; stall that falls back to mutator-assist; two
+ *    stalls that trigger the stop-the-world catch-up; three stalls
+ *    that contain the domain; a crash that falls back to assist) —
+ *    each must fire exactly the expected typed SweeperEvent counts,
+ *    and survivors must stay bit-identical to a sweeper-off control;
  *  - matrix determinism: the whole matrix runs twice and every
- *    deterministic statistic (fault log included, wall-clock
- *    excluded) must come out byte-identical.
+ *    deterministic statistic (fault and sweeper-event logs included,
+ *    wall-clock excluded) must come out byte-identical.
  *
  * Results go to stdout and BENCH_fault.json. The JSON separates the
  * "deterministic" section (gated byte-identical across same-seed
@@ -31,6 +38,13 @@
  * tenants/scope/policy/plan per cell (they are the experiment, not
  * configuration), so CHERIVOKE_FAULT_PLAN / CHERIVOKE_PAGE_BUDGET_MIB
  * are ignored here while CHERIVOKE_FAULT_SEED seeds the seeded phase.
+ *
+ * CHERIVOKE_FAULT_SUPERVISION_ONLY=1 runs just the supervision
+ * matrix (control + sweeper stall/crash/slow cells, both
+ * determinism passes) and skips the kind matrix, pressure ladder,
+ * seeded phase, and JSON emission — the reduced configuration CI's
+ * TSan leg runs so the racing sweeper gets sanitizer coverage
+ * without the full matrix's wall-clock under instrumentation.
  */
 
 #include <cstdio>
@@ -303,6 +317,181 @@ runCell(HeapFaultKind kind,
     return cell;
 }
 
+/** One supervision-matrix cell: a sweeper fault plan against the
+ *  domain of tenant 1 and the exact ladder response it must draw. */
+struct SupervisionCell
+{
+    const char *name = "";
+    const char *plan = ""; //!< sweeper-kind fault plan ("" = none)
+    /** @name Expected victim-domain event counts */
+    /// @{
+    uint64_t stalls = 0;
+    uint64_t retries = 0;
+    uint64_t crashes = 0;
+    uint64_t reassigns = 0;
+    uint64_t stwCatchups = 0;
+    uint64_t containments = 0;
+    /// @}
+    bool ok = true;
+    bool survivorMatch = true;
+    std::string detText;
+};
+
+/** The ladder rungs, one cell each, with sweeperRetries pinned to 2
+ *  (each failed episode costs 1 stall + 2 retries before
+ *  escalating). Strikes accumulate per domain across epochs. */
+std::vector<SupervisionCell>
+supervisionCells()
+{
+    std::vector<SupervisionCell> cells;
+    cells.push_back({"bg-parity", "", 0, 0, 0, 0, 0, 0});
+    cells.push_back(
+        {"slow-recovers", "sweeper-slow@1:1:2", 1, 2, 0, 0, 0, 0});
+    cells.push_back(
+        {"stall-assist", "sweeper-stall@1:1", 1, 2, 0, 1, 0, 0});
+    cells.push_back({"stall-stw",
+                     "sweeper-stall@1:1,sweeper-stall@1:2", 2, 4, 0,
+                     1, 1, 0});
+    cells.push_back({"stall-contain",
+                     "sweeper-stall@1:1,sweeper-stall@1:2,"
+                     "sweeper-stall@1:3",
+                     3, 6, 0, 1, 1, 1});
+    cells.push_back(
+        {"crash-assist", "sweeper-crash@1:1", 0, 0, 1, 1, 0, 0});
+    return cells;
+}
+
+/** Run one supervision cell and gate it against @p control (the
+ *  sweeper-off run over the same traces). */
+SupervisionCell
+runSupervisionCell(SupervisionCell cell,
+                   const workload::BenchmarkProfile &profile,
+                   const sim::ExperimentConfig &base,
+                   const std::vector<workload::Trace> &traces,
+                   const tenant::MultiTenantResult &control)
+{
+    sim::ExperimentConfig cfg = base;
+    cfg.bgSweeper = true;
+    cfg.sweeperRetries = 2; // the expected counts assume this
+    cfg.faultPlanText = cell.plan;
+    const sim::MultiTenantBenchResult res =
+        sim::runMultiTenantBenchmark(profile, cfg,
+                                     sim::MachineProfile::x86(),
+                                     &traces);
+    const tenant::MultiTenantResult &m = res.run;
+
+    // Count the victim domain's ladder events; Dispatch/Completed
+    // pairs from healthy epochs (every domain has them) are not
+    // part of the expectation.
+    uint64_t stalls = 0, retries = 0, crashes = 0, reassigns = 0,
+             stw = 0, contain = 0;
+    for (const revoke::SweeperEvent &ev : m.sweeperEvents) {
+        if (ev.domain != kFaultyTenant)
+            continue;
+        switch (ev.kind) {
+          case revoke::SweeperEventKind::StallDetected: ++stalls; break;
+          case revoke::SweeperEventKind::Retry: ++retries; break;
+          case revoke::SweeperEventKind::Crash: ++crashes; break;
+          case revoke::SweeperEventKind::ReassignToAssist:
+            ++reassigns;
+            break;
+          case revoke::SweeperEventKind::StwCatchup: ++stw; break;
+          case revoke::SweeperEventKind::Containment:
+            ++contain;
+            break;
+          default: break;
+        }
+    }
+    if (stalls != cell.stalls || retries != cell.retries ||
+        crashes != cell.crashes || reassigns != cell.reassigns ||
+        stw != cell.stwCatchups || contain != cell.containments) {
+        std::printf(
+            "FAILED [supervision %s]: event counts "
+            "stall/retry/crash/assist/stw/contain = "
+            "%llu/%llu/%llu/%llu/%llu/%llu, expected "
+            "%llu/%llu/%llu/%llu/%llu/%llu\n",
+            cell.name, static_cast<unsigned long long>(stalls),
+            static_cast<unsigned long long>(retries),
+            static_cast<unsigned long long>(crashes),
+            static_cast<unsigned long long>(reassigns),
+            static_cast<unsigned long long>(stw),
+            static_cast<unsigned long long>(contain),
+            static_cast<unsigned long long>(cell.stalls),
+            static_cast<unsigned long long>(cell.retries),
+            static_cast<unsigned long long>(cell.crashes),
+            static_cast<unsigned long long>(cell.reassigns),
+            static_cast<unsigned long long>(cell.stwCatchups),
+            static_cast<unsigned long long>(cell.containments));
+        cell.ok = false;
+    }
+
+    if (cell.containments > 0) {
+        // Rung 3 must retire exactly the victim via the standard
+        // containment path, stamped as an organic (not replayer-
+        // injected) sweeper failure...
+        if (m.faultsContained != 1 || m.faults.size() != 1 ||
+            m.faults[0].kind != HeapFaultKind::SweeperFailure ||
+            m.faults[0].tenantId != kFaultyTenant ||
+            m.faults[0].injected) {
+            std::printf("FAILED [supervision %s]: expected one "
+                        "organic sweeper-failure containment of "
+                        "tenant %llu\n",
+                        cell.name,
+                        static_cast<unsigned long long>(
+                            kFaultyTenant));
+            cell.ok = false;
+        }
+        // ...with the survivors bit-identical to a sweeper-off
+        // control whose victim trace simply ends at the fault op.
+        if (cell.ok) {
+            std::vector<workload::Trace> cut = traces;
+            cut[kFaultyTenant].ops.resize(m.faults[0].opIndex);
+            const sim::MultiTenantBenchResult ctrl =
+                sim::runMultiTenantBenchmark(
+                    profile, base, sim::MachineProfile::x86(), &cut);
+            for (const tenant::TenantResult &t : m.tenants) {
+                if (t.tenantId == kFaultyTenant)
+                    continue;
+                const tenant::TenantResult *c =
+                    findTenant(ctrl.run, t.tenantId);
+                if (!c ||
+                    tenantFingerprint(t) != tenantFingerprint(*c)) {
+                    cell.survivorMatch = false;
+                    cell.ok = false;
+                }
+            }
+        }
+    } else {
+        // Every other rung recovers the run: all tenants finish and
+        // every per-tenant statistic is bit-identical to the
+        // sweeper-off control — the headline guarantee that the
+        // racing background thread never perturbs modelled results.
+        for (const tenant::TenantResult &t : m.tenants) {
+            const tenant::TenantResult *c =
+                findTenant(control, t.tenantId);
+            if (t.opsApplied != t.opsTotal || !c ||
+                tenantFingerprint(t) != tenantFingerprint(*c)) {
+                cell.survivorMatch = false;
+                cell.ok = false;
+            }
+        }
+    }
+    if (!cell.survivorMatch)
+        std::printf("FAILED [supervision %s]: tenant statistics "
+                    "diverged from the sweeper-off control\n",
+                    cell.name);
+
+    cell.detText = std::string("supervision ") + cell.name +
+                   " plan=" + cell.plan + "\n";
+    for (const revoke::SweeperEvent &ev : m.sweeperEvents)
+        cell.detText += revoke::sweeperEventLine(ev) + "\n";
+    cell.detText += faultLogText(m);
+    for (const tenant::TenantResult &t : m.tenants)
+        cell.detText += "tenant " + std::to_string(t.tenantId) +
+                        "\n" + tenantFingerprint(t);
+    return cell;
+}
+
 struct PressureResult
 {
     bool ok = true;
@@ -466,6 +655,7 @@ struct Pass
 {
     bool ok = true;
     std::vector<Cell> cells;
+    std::vector<SupervisionCell> supervision;
     PressureResult pressure;
     SeededResult seeded;
     std::string detText;
@@ -474,22 +664,39 @@ struct Pass
 Pass
 runPass(uint64_t seed, const workload::BenchmarkProfile &profile,
         const sim::ExperimentConfig &base,
-        const std::vector<workload::Trace> &traces)
+        const std::vector<workload::Trace> &traces,
+        bool supervision_only)
 {
     Pass pass;
-    for (size_t k = 0; k < kNumHeapFaultKinds; ++k) {
-        Cell cell = runCell(static_cast<HeapFaultKind>(k), profile,
-                            base, traces);
+    if (!supervision_only) {
+        for (size_t k = 0; k < kNumHeapFaultKinds; ++k) {
+            Cell cell = runCell(static_cast<HeapFaultKind>(k),
+                                profile, base, traces);
+            pass.ok &= cell.ok;
+            pass.detText += cell.detText;
+            pass.cells.push_back(std::move(cell));
+        }
+    }
+    // The sweeper-off control every supervision cell diffs against.
+    const sim::MultiTenantBenchResult control =
+        sim::runMultiTenantBenchmark(profile, base,
+                                     sim::MachineProfile::x86(),
+                                     &traces);
+    for (SupervisionCell cell : supervisionCells()) {
+        cell = runSupervisionCell(cell, profile, base, traces,
+                                  control.run);
         pass.ok &= cell.ok;
         pass.detText += cell.detText;
-        pass.cells.push_back(std::move(cell));
+        pass.supervision.push_back(std::move(cell));
     }
-    pass.pressure = runPressure(profile, base, traces);
-    pass.ok &= pass.pressure.ok;
-    pass.detText += pass.pressure.detText;
-    pass.seeded = runSeeded(seed, profile, base, traces);
-    pass.ok &= pass.seeded.ok;
-    pass.detText += pass.seeded.detText;
+    if (!supervision_only) {
+        pass.pressure = runPressure(profile, base, traces);
+        pass.ok &= pass.pressure.ok;
+        pass.detText += pass.pressure.detText;
+        pass.seeded = runSeeded(seed, profile, base, traces);
+        pass.ok &= pass.seeded.ok;
+        pass.detText += pass.seeded.detText;
+    }
     return pass;
 }
 
@@ -515,6 +722,8 @@ main()
     const workload::BenchmarkProfile profile = faultProfile();
     const sim::ExperimentConfig base = baseConfig();
     bench::printKnobs();
+    const bool supervision_only =
+        envI64("CHERIVOKE_FAULT_SUPERVISION_ONLY", 0, 0) != 0;
     const uint64_t seed =
         base.faultSeed ? base.faultSeed : 0xC0FFEEULL;
 
@@ -523,8 +732,9 @@ main()
     const std::vector<workload::Trace> traces = codecRoundTrip(
         sim::synthesizeTenantTraces(profile, base));
 
-    Pass a = runPass(seed, profile, base, traces);
-    const Pass b = runPass(seed, profile, base, traces);
+    Pass a = runPass(seed, profile, base, traces, supervision_only);
+    const Pass b =
+        runPass(seed, profile, base, traces, supervision_only);
     bool ok = a.ok && b.ok;
 
     const bool rerun_identical = a.detText == b.detText;
@@ -535,34 +745,60 @@ main()
         ok = false;
     }
 
-    std::printf("%-18s %-10s %9s %14s %12s %12s\n", "kind",
-                "contained", "fault op", "pages released",
-                "contain ms", "survivors");
-    for (const Cell &c : a.cells) {
-        std::printf("%-18s %-10s %9llu %14llu %12.3f %12s\n",
-                    heapFaultKindName(c.kind), c.ok ? "yes" : "NO",
-                    static_cast<unsigned long long>(c.faultOp),
-                    static_cast<unsigned long long>(c.pagesReleased),
-                    c.containSec * 1e3,
-                    c.survivorMatch ? "bit-identical" : "DIVERGED");
+    if (!supervision_only) {
+        std::printf("%-18s %-10s %9s %14s %12s %12s\n", "kind",
+                    "contained", "fault op", "pages released",
+                    "contain ms", "survivors");
+        for (const Cell &c : a.cells) {
+            std::printf(
+                "%-18s %-10s %9llu %14llu %12.3f %12s\n",
+                heapFaultKindName(c.kind), c.ok ? "yes" : "NO",
+                static_cast<unsigned long long>(c.faultOp),
+                static_cast<unsigned long long>(c.pagesReleased),
+                c.containSec * 1e3,
+                c.survivorMatch ? "bit-identical" : "DIVERGED");
+        }
     }
-    std::printf("\npressure: budget %.2f MiB, %llu ladder events, "
-                "%llu pages reclaimed, %llu OOM-kill(s), %u "
-                "survivor(s)\n",
-                a.pressure.budgetMiB,
-                static_cast<unsigned long long>(
-                    a.pressure.pressureEvents),
-                static_cast<unsigned long long>(
-                    a.pressure.pagesReclaimed),
-                static_cast<unsigned long long>(a.pressure.oomKills),
-                a.pressure.survivors);
-    std::printf("seeded: seed %llu -> plan %s (%llu contained)\n\n",
-                static_cast<unsigned long long>(seed),
-                a.seeded.planText.c_str(),
-                static_cast<unsigned long long>(
-                    a.seeded.faultsContained));
+    std::printf("\n%-15s %-42s %-6s %s\n", "supervision",
+                "plan", "ok", "events s/r/c/a/w/x");
+    for (const SupervisionCell &c : a.supervision) {
+        std::printf("%-15s %-42s %-6s "
+                    "%llu/%llu/%llu/%llu/%llu/%llu\n",
+                    c.name, c.plan[0] ? c.plan : "(none)",
+                    c.ok ? "yes" : "NO",
+                    static_cast<unsigned long long>(c.stalls),
+                    static_cast<unsigned long long>(c.retries),
+                    static_cast<unsigned long long>(c.crashes),
+                    static_cast<unsigned long long>(c.reassigns),
+                    static_cast<unsigned long long>(c.stwCatchups),
+                    static_cast<unsigned long long>(c.containments));
+    }
 
-    FILE *json = std::fopen("BENCH_fault.json", "w");
+    if (!supervision_only) {
+        std::printf(
+            "\npressure: budget %.2f MiB, %llu ladder events, "
+            "%llu pages reclaimed, %llu OOM-kill(s), %u "
+            "survivor(s)\n",
+            a.pressure.budgetMiB,
+            static_cast<unsigned long long>(
+                a.pressure.pressureEvents),
+            static_cast<unsigned long long>(
+                a.pressure.pagesReclaimed),
+            static_cast<unsigned long long>(a.pressure.oomKills),
+            a.pressure.survivors);
+        std::printf(
+            "seeded: seed %llu -> plan %s (%llu contained)\n\n",
+            static_cast<unsigned long long>(seed),
+            a.seeded.planText.c_str(),
+            static_cast<unsigned long long>(
+                a.seeded.faultsContained));
+    }
+
+    // The reduced TSan configuration emits no artifact: a subset
+    // run must never become the regression baseline.
+    FILE *json = supervision_only
+                     ? nullptr
+                     : std::fopen("BENCH_fault.json", "w");
     if (json) {
         std::fprintf(json, "{\n");
         std::fprintf(json, "  \"bench\": \"fault_matrix\",\n");
@@ -584,6 +820,27 @@ main()
                 static_cast<unsigned long long>(c.pagesReleased),
                 c.survivorMatch ? "true" : "false",
                 i + 1 < a.cells.size() ? "," : "");
+        }
+        std::fprintf(json, "    ],\n");
+        std::fprintf(json, "    \"supervision\": [\n");
+        for (size_t i = 0; i < a.supervision.size(); ++i) {
+            const SupervisionCell &c = a.supervision[i];
+            std::fprintf(
+                json,
+                "      {\"cell\": \"%s\", \"plan\": \"%s\", "
+                "\"ok\": %s, \"stalls\": %llu, \"retries\": %llu, "
+                "\"crashes\": %llu, \"reassigns\": %llu, "
+                "\"stw_catchups\": %llu, \"containments\": %llu, "
+                "\"survivors_bit_identical\": %s}%s\n",
+                c.name, c.plan, c.ok ? "true" : "false",
+                static_cast<unsigned long long>(c.stalls),
+                static_cast<unsigned long long>(c.retries),
+                static_cast<unsigned long long>(c.crashes),
+                static_cast<unsigned long long>(c.reassigns),
+                static_cast<unsigned long long>(c.stwCatchups),
+                static_cast<unsigned long long>(c.containments),
+                c.survivorMatch ? "true" : "false",
+                i + 1 < a.supervision.size() ? "," : "");
         }
         std::fprintf(json, "    ],\n");
         std::fprintf(json, "    \"pressure\": {\"events\": %llu, "
@@ -630,11 +887,17 @@ main()
         std::printf("wrote BENCH_fault.json\n");
     }
 
-    if (ok) {
-        std::printf("OK: %zu fault kinds contained, pressure ladder "
+    if (ok && supervision_only) {
+        std::printf("OK: %zu supervision rungs fired as planned "
+                    "(reduced supervision-only run), deterministic "
+                    "replay\n",
+                    a.supervision.size());
+    } else if (ok) {
+        std::printf("OK: %zu fault kinds contained, %zu supervision "
+                    "rungs fired as planned, pressure ladder "
                     "killed %llu and spared %u, deterministic "
                     "replay\n",
-                    kNumHeapFaultKinds,
+                    kNumHeapFaultKinds, a.supervision.size(),
                     static_cast<unsigned long long>(
                         a.pressure.oomKills),
                     a.pressure.survivors);

@@ -331,6 +331,21 @@ main()
                     static_cast<unsigned long long>(agg_allocs));
                 ok = false;
             }
+            // Background-sweeper parity gate: the same traces with
+            // a true sweeper thread racing the mutators must
+            // reproduce every modelled statistic bit for bit.
+            sim::ExperimentConfig bg_cfg = cfg;
+            bg_cfg.bgSweeper = true;
+            const sim::MultiTenantBenchResult bg_run =
+                sim::runMultiTenantBenchmark(
+                    profile, bg_cfg, sim::MachineProfile::x86(),
+                    &traces);
+            if (statsFingerprint(bg_run) != det_fingerprint_a) {
+                std::printf("FAILED: background-sweeper run "
+                            "diverged from the mutator-assist "
+                            "run over the same traces\n");
+                ok = false;
+            }
         }
         rows.push_back(std::move(row));
     }

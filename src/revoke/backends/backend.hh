@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "alloc/cherivoke_alloc.hh"
 #include "revoke/sweeper.hh"
@@ -169,6 +170,15 @@ class RevocationBackend : public alloc::AllocObserver
 
     /** Work units remaining in the open epoch (0 when idle). */
     virtual size_t pagesRemaining() const { return 0; }
+
+    /** The open epoch's frozen page worklist, for backends that
+     *  sweep page-granular memory (the background sweeper snapshots
+     *  it at dispatch). nullptr for backends with no such worklist
+     *  (objid) — the engine then skips background dispatch. */
+    virtual const std::vector<uint64_t> *frozenWorklist() const
+    {
+        return nullptr;
+    }
 
     /** Drop any installed load barrier (engine-destructor safety;
      *  no-op for barrier-free backends). */

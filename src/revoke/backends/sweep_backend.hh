@@ -42,6 +42,12 @@ class SweepBackend : public RevocationBackend
 
     void releaseBarrier() override;
 
+    const std::vector<uint64_t> *
+    frozenWorklist() const override
+    {
+        return &worklist_;
+    }
+
   protected:
     bool barrier_on_ = false;
     std::vector<uint64_t> worklist_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "revoke/background_sweeper.hh"
 #include "support/logging.hh"
+#include "support/units.hh"
 
 namespace cherivoke {
 namespace revoke {
@@ -148,7 +150,8 @@ RevocationEngine::RevocationEngine(
     alloc::CherivokeAllocator &allocator, mem::AddressSpace &space,
     EngineConfig config)
     : sweeper_(config.sweep), config_(config),
-      policy_(makePolicy(config.policy))
+      policy_(makePolicy(config.policy)),
+      sweeper_plan_(config.sweeperPlan)
 {
     CHERIVOKE_ASSERT(config_.pagesPerSlice > 0);
     CHERIVOKE_ASSERT(config_.paintShards > 0);
@@ -167,6 +170,11 @@ RevocationEngine::RevocationEngine(
 
 RevocationEngine::~RevocationEngine()
 {
+    // The background worker may still hold the open epoch's frozen
+    // snapshot and be probing its shadow: join it before any
+    // barrier/shadow teardown below.
+    if (bg_)
+        bg_->cancel();
     // Never leave a dangling barrier behind, and detach from every
     // allocator that may outlive the engine.
     for (Domain &dom : domains_) {
@@ -213,6 +221,7 @@ RevocationEngine::bindDomain(size_t index,
                          "(rebinding the open epoch's domain)");
         dom = Domain{&allocator, &space, EngineTotals{}, nullptr,
                      nullptr, false};
+        supervisor_.resetStrikes(index);
     }
     attachBackend(index, config_.backend);
     return index;
@@ -410,12 +419,234 @@ RevocationEngine::beginEpoch()
     // threads must flush and drain remote-free traffic.
     if (epoch_open_hook_)
         epoch_open_hook_(epoch_domain_);
+
+    if (config_.backgroundSweeper)
+        dispatchBackgroundSweep();
+}
+
+support::Clock &
+RevocationEngine::clock()
+{
+    return config_.clock ? *config_.clock : steady_clock_;
+}
+
+void
+RevocationEngine::dispatchBackgroundSweep()
+{
+    bg_active_ = false;
+    stw_catchup_ = false;
+    Domain &dom = epochDomain();
+    const std::vector<uint64_t> *worklist =
+        dom.backend->frozenWorklist();
+    if (!worklist)
+        return; // backend with no page-granular sweep (objid)
+    if (!bg_)
+        bg_ = std::make_unique<BackgroundSweeper>();
+
+    // Domain-local epoch ordinal, the unit sweeper injections are
+    // keyed on (finishEpoch increments dom.totals.epochs).
+    bg_epoch_seq_ = dom.totals.epochs;
+    auto inject = BackgroundSweeper::Inject::None;
+    uint64_t slow_factor = 1;
+    for (SweeperInjection &si : sweeper_plan_) {
+        if (si.fired || si.domain != epoch_domain_ ||
+            si.epoch != bg_epoch_seq_)
+            continue;
+        si.fired = true;
+        switch (si.kind) {
+          case SweeperFaultKind::Stall:
+            inject = BackgroundSweeper::Inject::Stall;
+            break;
+          case SweeperFaultKind::Crash:
+            inject = BackgroundSweeper::Inject::Crash;
+            break;
+          case SweeperFaultKind::Slow:
+            inject = BackgroundSweeper::Inject::Slow;
+            break;
+        }
+        slow_factor = si.factor;
+        break;
+    }
+
+    FrozenWorklist snapshot =
+        buildFrozenWorklist(dom.space->memory(), *worklist);
+    bg_total_ = snapshot.pages.size();
+
+    supervisor_.record({SweeperEventKind::Dispatch, epoch_domain_,
+                        bg_epoch_seq_, bg_total_, 0});
+
+    // Per-epoch deadline: the configured override, or the §6.1.3
+    // sweep-cost estimate for this worklist. The assumed scan rate
+    // is the paper's commodity-DRAM order of magnitude; the derived
+    // deadline carries generous slack on top.
+    constexpr double kAssumedScanRate = 1024.0 * 1024 * 1024;
+    const uint64_t window =
+        config_.epochDeadlineMs > 0
+            ? static_cast<uint64_t>(config_.epochDeadlineMs * 1e6)
+            : derivedEpochDeadlineNs(bg_total_, kAssumedScanRate);
+    supervisor_.watchdog().arm(clock().nowNs(), window,
+                               config_.sweeperRetries);
+
+    bg_->dispatch(std::move(snapshot),
+                  &dom.allocator->shadowMap(),
+                  config_.pagesPerSlice, inject, slow_factor);
+    bg_active_ = true;
+}
+
+void
+RevocationEngine::rendezvousBackgroundSweep(size_t max_pages)
+{
+    const size_t remaining = epochDomain().backend->pagesRemaining();
+    const uint64_t target =
+        bg_total_ - remaining +
+        std::min<uint64_t>(max_pages, remaining);
+    Watchdog &wd = supervisor_.watchdog();
+    bool stall_recorded = false;
+    uint64_t hb_seen = bg_->heartbeats();
+
+    // Poll chunk for the real-clock path: long enough not to spin,
+    // far below any deadline window.
+    constexpr uint64_t kPollNs = 1'000'000;
+
+    while (true) {
+        if (bg_->watermark() >= target) {
+            wd.heartbeat(clock().nowNs());
+            return;
+        }
+        const BackgroundSweeper::State state = bg_->state();
+        if (state == BackgroundSweeper::State::Done)
+            return; // watermark covers the whole worklist
+        if (state == BackgroundSweeper::State::Crashed) {
+            // Dead worker: no retry can help — straight to the
+            // ladder.
+            supervisor_.record({SweeperEventKind::Crash,
+                                epoch_domain_, bg_epoch_seq_,
+                                bg_->watermark(), wd.retries()});
+            failSweeperEpisode();
+            return;
+        }
+        if (state == BackgroundSweeper::State::Stalled) {
+            // Injected no-progress state: drive the same watchdog
+            // machinery, but with its own deadline as "now" so the
+            // retry/backoff walk is wall-time-free and
+            // deterministic.
+            if (!stall_recorded) {
+                supervisor_.record({SweeperEventKind::StallDetected,
+                                    epoch_domain_, bg_epoch_seq_,
+                                    bg_->watermark(), wd.retries()});
+                stall_recorded = true;
+            }
+            const Watchdog::Verdict verdict =
+                wd.poll(wd.deadlineNs());
+            if (verdict == Watchdog::Verdict::Retry) {
+                supervisor_.record({SweeperEventKind::Retry,
+                                    epoch_domain_, bg_epoch_seq_,
+                                    bg_->watermark(), wd.retries()});
+                // One retry credit: a Slow job whose credits run
+                // out resumes synchronously inside nudge().
+                bg_->nudge();
+                continue;
+            }
+            failSweeperEpisode();
+            return;
+        }
+        // Running: genuinely wait for progress, feeding heartbeats
+        // to the watchdog; a real overrun (never hit by the
+        // deterministic suites) walks the same retry path.
+        bg_->waitProgress(target, kPollNs);
+        const uint64_t hb = bg_->heartbeats();
+        if (hb != hb_seen) {
+            hb_seen = hb;
+            wd.heartbeat(clock().nowNs());
+        }
+        const Watchdog::Verdict verdict = wd.poll(clock().nowNs());
+        if (verdict == Watchdog::Verdict::Retry) {
+            if (!stall_recorded) {
+                supervisor_.record({SweeperEventKind::StallDetected,
+                                    epoch_domain_, bg_epoch_seq_,
+                                    bg_->watermark(),
+                                    wd.retries() - 1});
+                stall_recorded = true;
+            }
+            supervisor_.record({SweeperEventKind::Retry,
+                                epoch_domain_, bg_epoch_seq_,
+                                bg_->watermark(), wd.retries()});
+            bg_->nudge();
+        } else if (verdict == Watchdog::Verdict::Escalate) {
+            failSweeperEpisode();
+            return;
+        }
+    }
+}
+
+void
+RevocationEngine::failSweeperEpisode()
+{
+    bg_->cancel();
+    supervisor_.watchdog().disarm();
+    bg_active_ = false;
+    const uint64_t watermark = bg_->watermark();
+    const unsigned strikes = supervisor_.addStrike(epoch_domain_);
+    if (strikes >= 3) {
+        // Rung 3: the domain's sweeper failed three epochs running —
+        // contain it through the standard teardown path. The job is
+        // already cancelled, so the containment drain completes the
+        // epoch via plain mutator-assist.
+        supervisor_.record({SweeperEventKind::Containment,
+                            epoch_domain_, bg_epoch_seq_, watermark,
+                            supervisor_.watchdog().retries()});
+        heapFault(HeapFaultKind::SweeperFailure,
+                  "domain %zu background sweeper failed %u epochs "
+                  "(stalled at page %llu/%llu of epoch %llu)",
+                  epoch_domain_, strikes,
+                  static_cast<unsigned long long>(watermark),
+                  static_cast<unsigned long long>(bg_total_),
+                  static_cast<unsigned long long>(bg_epoch_seq_));
+    }
+    if (strikes == 2) {
+        // Rung 2: besides falling back to assist, the next modelled
+        // step drains the whole worklist in one stop-the-world
+        // catch-up pause so the domain regains revocation cadence.
+        supervisor_.record({SweeperEventKind::StwCatchup,
+                            epoch_domain_, bg_epoch_seq_, watermark,
+                            supervisor_.watchdog().retries()});
+        stw_catchup_ = true;
+        return;
+    }
+    // Rung 1: the epoch simply continues on the unchanged modelled
+    // mutator-assist path — which is where all modelled statistics
+    // come from anyway, so the fallback is bit-exact.
+    supervisor_.record({SweeperEventKind::ReassignToAssist,
+                        epoch_domain_, bg_epoch_seq_, watermark,
+                        supervisor_.watchdog().retries()});
+}
+
+void
+RevocationEngine::joinBackgroundSweep()
+{
+    if (!bg_active_)
+        return;
+    // The rendezvous before every modelled slice guarantees the
+    // worker's watermark already covers the whole worklist; cancel()
+    // doubles as the join (it returns once the worker has let go).
+    bg_->cancel();
+    supervisor_.watchdog().disarm();
+    supervisor_.record({SweeperEventKind::Completed, epoch_domain_,
+                        bg_epoch_seq_, bg_->watermark(),
+                        supervisor_.watchdog().retries()});
+    bg_active_ = false;
 }
 
 size_t
 RevocationEngine::step(size_t max_pages, cache::Hierarchy *hierarchy)
 {
     CHERIVOKE_ASSERT(open_, "(step without an open epoch)");
+    if (bg_active_)
+        rendezvousBackgroundSweep(max_pages);
+    if (stw_catchup_) {
+        stw_catchup_ = false;
+        max_pages = SIZE_MAX;
+    }
     return epochDomain().backend->step(epoch_, max_pages, hierarchy);
 }
 
@@ -427,6 +658,9 @@ RevocationEngine::finishEpoch()
     CHERIVOKE_ASSERT(dom.backend->pagesRemaining() == 0,
                      "(worklist not drained: call step() to "
                      "completion first)");
+    // Join the racing worker before the backend releases the
+    // barrier and unpaints the shadow it is probing.
+    joinBackgroundSweep();
     dom.backend->finishEpoch(epoch_);
     open_ = false;
 

@@ -64,10 +64,15 @@
 
 #include "alloc/cherivoke_alloc.hh"
 #include "revoke/backends/backend.hh"
+#include "revoke/supervisor.hh"
 #include "revoke/sweeper.hh"
+#include "support/clock.hh"
+#include "support/fault.hh"
 
 namespace cherivoke {
 namespace revoke {
+
+class BackgroundSweeper;
 
 /** Cumulative statistics across all epochs. */
 struct EngineTotals
@@ -114,6 +119,29 @@ struct EngineConfig
     BackendKind backend = BackendKind::Sweep;
     /** Tunables for the metadata-bearing backends. */
     BackendConfig backendConfig{};
+    /** Run a true background sweeper thread: each epoch's frozen
+     *  worklist is snapshotted at open and raced off-thread under
+     *  watchdog supervision, with the modelled statistics still
+     *  produced by the (unchanged) mutator-assist replay — a bg-on
+     *  run is bit-identical to bg-off by construction. */
+    bool backgroundSweeper = false;
+    /** Watchdog deadline per epoch in milliseconds; 0 derives it
+     *  from the §6.1.3 sweep-cost model (worklist bytes over the
+     *  assumed scan rate, with slack). */
+    double epochDeadlineMs = 0;
+    /** Bounded watchdog retries (exponential backoff: the deadline
+     *  window doubles per retry) before the degradation ladder
+     *  fires. */
+    unsigned sweeperRetries = 2;
+    /** Injectable clock for the watchdog (null → a steady clock
+     *  owned by the engine). Deterministic chaos never reads it:
+     *  injected sweeper faults are states, observed at rendezvous
+     *  points. */
+    support::Clock *clock = nullptr;
+    /** Deterministic sweeper fault injections
+     *  (`sweeper-stall@domain:epoch` and friends), consumed as
+     *  matching epochs open. */
+    std::vector<SweeperInjection> sweeperPlan;
 };
 
 class RevocationEngine;
@@ -362,6 +390,25 @@ class RevocationEngine
     const EngineConfig &config() const { return config_; }
     const EngineTotals &totals() const { return totals_; }
     const EpochStats &lastEpoch() const { return last_; }
+
+    /** Every supervision transition so far (typed, deterministic). */
+    const std::vector<SweeperEvent> &sweeperEvents() const
+    {
+        return supervisor_.events();
+    }
+
+    /** Ladder strikes accumulated against domain @p index. */
+    unsigned sweeperStrikes(size_t index) const
+    {
+        return supervisor_.strikes(index);
+    }
+
+    /** The background sweeper thread (null unless
+     *  config().backgroundSweeper and an epoch has dispatched). */
+    const BackgroundSweeper *backgroundSweeperThread() const
+    {
+        return bg_.get();
+    }
     /// @}
 
   private:
@@ -384,6 +431,27 @@ class RevocationEngine
      *  it as the allocator's observer. */
     void attachBackend(size_t index, BackendKind kind);
 
+    /** @name Background-sweeper supervision (see supervisor.hh) */
+    /// @{
+    /** Snapshot the frozen worklist and hand it to the worker
+     *  thread (beginEpoch tail, bg mode only). */
+    void dispatchBackgroundSweep();
+    /** Before a modelled slice over the next @p max_pages pages:
+     *  wait for the worker's watermark to cover them, driving the
+     *  watchdog; on overrun/stall/crash walk the retry loop and, if
+     *  the episode fails, the degradation ladder (may throw
+     *  HeapFaultKind::SweeperFailure at rung 3). */
+    void rendezvousBackgroundSweep(size_t max_pages);
+    /** A failed episode: cancel the job, take a strike, fire the
+     *  ladder rung for the strike count. */
+    void failSweeperEpisode();
+    /** Join the worker at epoch close (finishEpoch head), before
+     *  the backend releases barrier + shadow. */
+    void joinBackgroundSweep();
+    /** The watchdog clock (config override or the owned steady). */
+    support::Clock &clock();
+    /// @}
+
     /** The active domain's allocator (pressure checks, new epochs). */
     alloc::CherivokeAllocator &allocator() const
     {
@@ -405,6 +473,19 @@ class RevocationEngine
 
     EpochStats epoch_;
     bool open_ = false;
+
+    /** @name Background-sweeper state */
+    /// @{
+    std::unique_ptr<BackgroundSweeper> bg_;
+    SweeperSupervisor supervisor_;
+    support::SteadyClock steady_clock_;
+    /** Engine-owned copy of config().sweeperPlan (fired flags). */
+    std::vector<SweeperInjection> sweeper_plan_;
+    bool bg_active_ = false;  //!< a job covers the open epoch
+    bool stw_catchup_ = false; //!< rung 2: next step drains all
+    uint64_t bg_total_ = 0;    //!< worklist pages at dispatch
+    uint64_t bg_epoch_seq_ = 0; //!< domain-local ordinal at open
+    /// @}
 };
 
 } // namespace revoke

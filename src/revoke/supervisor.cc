@@ -1,0 +1,60 @@
+#include "revoke/supervisor.hh"
+
+#include <algorithm>
+
+#include "support/units.hh"
+
+namespace cherivoke {
+namespace revoke {
+
+const char *
+sweeperEventKindName(SweeperEventKind kind)
+{
+    switch (kind) {
+      case SweeperEventKind::Dispatch: return "dispatch";
+      case SweeperEventKind::Completed: return "completed";
+      case SweeperEventKind::StallDetected: return "stall-detected";
+      case SweeperEventKind::Retry: return "retry";
+      case SweeperEventKind::Crash: return "crash";
+      case SweeperEventKind::ReassignToAssist:
+        return "reassign-to-assist";
+      case SweeperEventKind::StwCatchup: return "stw-catchup";
+      case SweeperEventKind::Containment: return "containment";
+    }
+    return "unknown";
+}
+
+std::string
+sweeperEventLine(const SweeperEvent &event)
+{
+    std::string out = sweeperEventKindName(event.kind);
+    out += "@d";
+    out += std::to_string(event.domain);
+    out += ":e";
+    out += std::to_string(event.epochSeq);
+    out += " pages=";
+    out += std::to_string(event.pages);
+    out += " attempt=";
+    out += std::to_string(event.attempt);
+    return out;
+}
+
+uint64_t
+derivedEpochDeadlineNs(uint64_t worklist_pages,
+                       double scan_rate_bytes_per_sec,
+                       double slack)
+{
+    // Floor: even an empty worklist gets 10 ms so thread dispatch
+    // latency on a loaded machine cannot masquerade as a stall.
+    constexpr uint64_t kFloorNs = 10'000'000;
+    if (scan_rate_bytes_per_sec <= 0)
+        return kFloorNs;
+    const double bytes =
+        static_cast<double>(worklist_pages) * kPageBytes;
+    const double seconds = bytes / scan_rate_bytes_per_sec * slack;
+    const double ns = seconds * 1e9;
+    return std::max(kFloorNs, static_cast<uint64_t>(ns));
+}
+
+} // namespace revoke
+} // namespace cherivoke

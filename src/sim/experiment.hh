@@ -125,6 +125,25 @@ struct ExperimentConfig
      *  ladder (emergency revocation → global reclaim → OOM-kill). */
     double pageBudgetMiB = 0;
     /// @}
+
+    /** @name Supervised background revocation
+     *  (CHERIVOKE_BG_SWEEPER / CHERIVOKE_EPOCH_DEADLINE_MS /
+     *  CHERIVOKE_SWEEPER_RETRIES; bench/fault_matrix supervision
+     *  matrix) */
+    /// @{
+    /** Run a true background sweeper thread per engine, racing the
+     *  mutators over a frozen worklist snapshot. Modelled statistics
+     *  stay bit-identical to the mutator-assist build (gated in
+     *  tests and the bench harness). */
+    bool bgSweeper = false;
+    /** Explicit per-epoch sweeper deadline in milliseconds; 0 =
+     *  derive from the §6.1.3 sweep-cost model (worklist bytes over
+     *  an assumed scan rate, with slack). */
+    double epochDeadlineMs = 0;
+    /** Bounded watchdog retries (exponential backoff) before the
+     *  degradation ladder takes over. */
+    unsigned sweeperRetries = 2;
+    /// @}
 };
 
 /** Everything one benchmark run produces. */

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A minimal injectable monotonic clock. The revocation supervisor's
+ * Watchdog consumes timestamps rather than reading time itself, so
+ * production code passes a SteadyClock while tests (and anything
+ * that needs deterministic replay) pass a FakeClock they advance by
+ * hand. Nothing in the deterministic modelled pipeline may branch on
+ * SteadyClock values — wall time is strictly an observation channel
+ * (overrun detection on real hardware), never a replayed input.
+ */
+
+#ifndef CHERIVOKE_SUPPORT_CLOCK_HH
+#define CHERIVOKE_SUPPORT_CLOCK_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace cherivoke {
+namespace support {
+
+/** Monotonic nanosecond clock interface. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Monotonic now, in nanoseconds from an arbitrary origin. */
+    virtual uint64_t nowNs() = 0;
+};
+
+/** The production clock: std::chrono::steady_clock. */
+class SteadyClock : public Clock
+{
+  public:
+    uint64_t nowNs() override
+    {
+        const auto t = std::chrono::steady_clock::now();
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t.time_since_epoch())
+                .count());
+    }
+};
+
+/** A hand-cranked clock for deterministic watchdog tests. */
+class FakeClock : public Clock
+{
+  public:
+    explicit FakeClock(uint64_t start_ns = 0) : now_(start_ns) {}
+
+    uint64_t nowNs() override { return now_; }
+
+    void set(uint64_t ns) { now_ = ns; }
+    void advance(uint64_t ns) { now_ += ns; }
+
+  private:
+    uint64_t now_;
+};
+
+} // namespace support
+} // namespace cherivoke
+
+#endif // CHERIVOKE_SUPPORT_CLOCK_HH

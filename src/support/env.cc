@@ -1,9 +1,12 @@
 #include "support/env.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 
 #include "support/logging.hh"
+
+extern char **environ;
 
 namespace cherivoke {
 
@@ -37,7 +40,105 @@ renderF64(double value)
     return buf;
 }
 
+/** Classic Levenshtein distance, small-string sizes only. */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            const size_t up = row[j];
+            const size_t subst =
+                diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
 } // namespace
+
+const std::vector<std::string> &
+knownEnvKnobs()
+{
+    // Every CHERIVOKE_* environment variable any binary in this repo
+    // reads. A knob added anywhere must be added here, or
+    // validateEnvironment() rejects it — which is the point: the
+    // table is the single registry a typo is checked against.
+    static const std::vector<std::string> known = {
+        "CHERIVOKE_ALLOCS_PER_COLOR",
+        "CHERIVOKE_ALLOC_CHURN",
+        "CHERIVOKE_ALLOC_LIVE",
+        "CHERIVOKE_BACKEND",
+        "CHERIVOKE_BENCH_ALLOCS",
+        "CHERIVOKE_BENCH_SECS",
+        "CHERIVOKE_BG_SWEEPER",
+        "CHERIVOKE_COLORS",
+        "CHERIVOKE_EPOCH_DEADLINE_MS",
+        "CHERIVOKE_FAULT_PLAN",
+        "CHERIVOKE_FAULT_SEED",
+        "CHERIVOKE_FAULT_SUPERVISION_ONLY",
+        "CHERIVOKE_ID_COMPACT",
+        "CHERIVOKE_MSGPASS_ENTRIES",
+        "CHERIVOKE_MUTATOR_OPS",
+        "CHERIVOKE_MUTATOR_THREADS",
+        "CHERIVOKE_PAGE_BUDGET_MIB",
+        "CHERIVOKE_PAINT_SHARDS",
+        "CHERIVOKE_POLICY",
+        "CHERIVOKE_RECYCLE_FRACTION",
+        "CHERIVOKE_REMOTE_BATCH",
+        "CHERIVOKE_SWEEPER_RETRIES",
+        "CHERIVOKE_TENANTS",
+        "CHERIVOKE_TENANT_AGG_ALLOCS",
+        "CHERIVOKE_TENANT_BACKENDS",
+        "CHERIVOKE_TENANT_CHURN",
+        "CHERIVOKE_TENANT_HEAP_MIB",
+        "CHERIVOKE_TENANT_MAX",
+        "CHERIVOKE_TENANT_POLICIES",
+        "CHERIVOKE_TENANT_SCOPE",
+        "CHERIVOKE_TENANT_WEIGHTS",
+        "CHERIVOKE_TEST_KNOB",
+        "CHERIVOKE_THREADS",
+    };
+    return known;
+}
+
+void
+validateEnvironment()
+{
+    for (char **env = environ; env && *env; ++env) {
+        const std::string entry(*env);
+        if (entry.rfind("CHERIVOKE_", 0) != 0)
+            continue;
+        const std::string name =
+            entry.substr(0, std::min(entry.find('='), entry.size()));
+        bool known = false;
+        for (const std::string &knob : knownEnvKnobs()) {
+            if (knob == name) {
+                known = true;
+                break;
+            }
+        }
+        if (known)
+            continue;
+        const std::string *nearest = nullptr;
+        size_t best = ~size_t{0};
+        for (const std::string &knob : knownEnvKnobs()) {
+            const size_t d = editDistance(name, knob);
+            if (d < best) {
+                best = d;
+                nearest = &knob;
+            }
+        }
+        fatal("%s: unknown CHERIVOKE_* knob (did you mean %s?)",
+              name.c_str(), nearest->c_str());
+    }
+}
 
 const std::vector<EnvKnob> &
 envKnobs()

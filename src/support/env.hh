@@ -67,6 +67,21 @@ std::string envStr(const char *name, const std::string &fallback);
  */
 std::vector<std::string> envStrList(const char *name);
 
+/**
+ * Reject misspelled knobs: scan the process environment for
+ * CHERIVOKE_* variables and fatal() on any name not in the known-knob
+ * table, suggesting the nearest known knob by edit distance
+ * (`CHERIVOKE_BACKEDN` → "did you mean CHERIVOKE_BACKEND?"). A typo'd
+ * knob silently running the default configuration is the one strict
+ * parsing cannot catch — the variable is simply never queried.
+ * Benches call this before parsing their configuration.
+ */
+void validateEnvironment();
+
+/** The known-knob table validateEnvironment() checks against (full
+ *  CHERIVOKE_-prefixed names, sorted). Exposed for tests. */
+const std::vector<std::string> &knownEnvKnobs();
+
 /** Every knob queried so far, in first-query order; a repeated
  *  query updates its recorded value in place. */
 const std::vector<EnvKnob> &envKnobs();

@@ -15,8 +15,33 @@ heapFaultKindName(HeapFaultKind kind)
         return "header-corruption";
       case HeapFaultKind::OutOfMemory: return "oom";
       case HeapFaultKind::CodecCorruption: return "codec-corruption";
+      case HeapFaultKind::SweeperFailure: return "sweeper-failure";
     }
     return "unknown";
+}
+
+const char *
+sweeperFaultKindName(SweeperFaultKind kind)
+{
+    switch (kind) {
+      case SweeperFaultKind::Stall: return "sweeper-stall";
+      case SweeperFaultKind::Crash: return "sweeper-crash";
+      case SweeperFaultKind::Slow: return "sweeper-slow";
+    }
+    return "unknown";
+}
+
+bool
+parseSweeperFaultKind(const std::string &name, SweeperFaultKind &out)
+{
+    for (size_t i = 0; i < kNumSweeperFaultKinds; ++i) {
+        const auto kind = static_cast<SweeperFaultKind>(i);
+        if (name == sweeperFaultKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 bool
@@ -45,6 +70,19 @@ FaultPlan::text() const
         out += ':';
         out += std::to_string(fi.opIndex);
     }
+    for (const SweeperInjection &si : sweeper) {
+        if (!out.empty())
+            out += ',';
+        out += sweeperFaultKindName(si.kind);
+        out += '@';
+        out += std::to_string(si.domain);
+        out += ':';
+        out += std::to_string(si.epoch);
+        if (si.factor != 1) {
+            out += ':';
+            out += std::to_string(si.factor);
+        }
+    }
     return out;
 }
 
@@ -65,12 +103,45 @@ parseFaultPlan(const std::string &text)
         if (at == std::string::npos || colon == std::string::npos)
             fatal("fault plan: expected kind@tenant:op, got '%s'",
                   item.c_str());
-        FaultInjection fi;
         const std::string kind = item.substr(0, at);
+        SweeperFaultKind sweeper_kind;
+        if (parseSweeperFaultKind(kind, sweeper_kind)) {
+            // `kind@domain:epoch[:factor]` — the sweeper grammar.
+            SweeperInjection si;
+            si.kind = sweeper_kind;
+            const size_t colon2 = item.find(':', colon + 1);
+            int64_t domain = 0, epoch = 0, factor = 1;
+            if (!parseI64(item.substr(at + 1, colon - at - 1),
+                          domain) ||
+                domain < 0)
+                fatal("fault plan: bad domain in '%s'",
+                      item.c_str());
+            const size_t epoch_end =
+                colon2 == std::string::npos ? item.size() : colon2;
+            if (!parseI64(
+                    item.substr(colon + 1, epoch_end - colon - 1),
+                    epoch) ||
+                epoch < 0)
+                fatal("fault plan: bad epoch in '%s'", item.c_str());
+            if (colon2 != std::string::npos) {
+                if (!parseI64(item.substr(colon2 + 1), factor) ||
+                    factor < 1)
+                    fatal("fault plan: bad factor in '%s'",
+                          item.c_str());
+            }
+            si.domain = static_cast<uint64_t>(domain);
+            si.epoch = static_cast<uint64_t>(epoch);
+            si.factor = static_cast<uint64_t>(factor);
+            plan.sweeper.push_back(si);
+            pos = comma + 1;
+            continue;
+        }
+        FaultInjection fi;
         if (!parseHeapFaultKind(kind, fi.kind))
             fatal("fault plan: unknown fault kind '%s' (expected "
-                  "double-free, wild-free, header-corruption, oom "
-                  "or codec-corruption)",
+                  "double-free, wild-free, header-corruption, oom, "
+                  "codec-corruption, sweeper-stall, sweeper-crash "
+                  "or sweeper-slow)",
                   kind.c_str());
         int64_t tenant = 0, op = 0;
         if (!parseI64(item.substr(at + 1, colon - at - 1), tenant) ||
@@ -96,7 +167,7 @@ generateFaultPlan(uint64_t seed,
                      "(fault plan needs one op count per tenant)");
     Rng rng(seed);
     FaultPlan plan;
-    for (size_t k = 0; k < kNumHeapFaultKinds; ++k) {
+    for (size_t k = 0; k < kNumInjectableHeapFaultKinds; ++k) {
         FaultInjection fi;
         fi.kind = static_cast<HeapFaultKind>(k);
         const size_t t = rng.nextBounded(tenant_ids.size());

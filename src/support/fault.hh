@@ -42,9 +42,18 @@ enum class HeapFaultKind : uint8_t
     HeaderCorruption, //!< chunk boundary tag fails sanity checks
     OutOfMemory,      //!< page budget exhausted after escalation
     CodecCorruption,  //!< corrupt record mid-stream in a trace
+    SweeperFailure,   //!< background sweeper exhausted its
+                      //!< degradation ladder for this domain
 };
 
-constexpr size_t kNumHeapFaultKinds = 5;
+/**
+ * Kinds a seeded plan may inject through the trace-replay hook.
+ * SweeperFailure is excluded: it is only ever *raised* by the
+ * supervision ladder (driven by the sweeper-* injections below),
+ * never planted directly into a tenant's trace.
+ */
+constexpr size_t kNumInjectableHeapFaultKinds = 5;
+constexpr size_t kNumHeapFaultKinds = 6;
 
 /** Stable lowercase name ("double-free", "oom", ...). */
 const char *heapFaultKindName(HeapFaultKind kind);
@@ -105,23 +114,64 @@ struct FaultInjection
     bool fired = false; //!< consumed by the manager at run time
 };
 
+/** Which background-sweeper failure mode to inject. */
+enum class SweeperFaultKind : uint8_t
+{
+    Stall, //!< sweeper stops making progress, never recovers
+    Crash, //!< sweeper thread dies mid-epoch (heartbeat stops)
+    Slow,  //!< sweeper stalls, but recovers after `factor` retries
+};
+
+constexpr size_t kNumSweeperFaultKinds = 3;
+
+/** Stable lowercase name ("sweeper-stall", ...). */
+const char *sweeperFaultKindName(SweeperFaultKind kind);
+
+/** Inverse of sweeperFaultKindName(). @return false on unknown */
+bool parseSweeperFaultKind(const std::string &name,
+                           SweeperFaultKind &out);
+
+/**
+ * One planned sweeper injection: afflict the background sweeper of
+ * @p domain on its @p epoch-th revocation epoch (0-based ordinal of
+ * completed epochs at open time). For Slow, @p factor is how many
+ * watchdog retries it takes before the sweeper recovers.
+ */
+struct SweeperInjection
+{
+    SweeperFaultKind kind = SweeperFaultKind::Stall;
+    uint64_t domain = 0;
+    uint64_t epoch = 0;
+    uint64_t factor = 1;
+    bool fired = false; //!< consumed by the engine at run time
+};
+
 /** A deterministic chaos schedule. */
 struct FaultPlan
 {
     std::vector<FaultInjection> injections;
+    std::vector<SweeperInjection> sweeper;
 
-    bool empty() const { return injections.empty(); }
+    bool empty() const
+    {
+        return injections.empty() && sweeper.empty();
+    }
 
-    /** Canonical `kind@tenant:op,...` text (parse round-trips). */
+    /** Canonical `kind@tenant:op,...` text (parse round-trips).
+     *  Sweeper items render as `kind@domain:epoch[:factor]` (the
+     *  factor is emitted only when != 1). */
     std::string text() const;
 };
 
 /**
  * Strict-parse the `kind@tenant:op[,kind@tenant:op...]` grammar
  * (kinds: double-free, wild-free, header-corruption, oom,
- * codec-corruption). Empty text yields an empty plan; anything
- * malformed — unknown kind, missing separator, non-numeric field,
- * trailing comma — throws FatalError naming the offending token.
+ * codec-corruption, plus the sweeper kinds sweeper-stall,
+ * sweeper-crash and sweeper-slow with grammar
+ * `kind@domain:epoch[:factor]`). Empty text yields an empty plan;
+ * anything malformed — unknown kind, missing separator, non-numeric
+ * field, trailing comma — throws FatalError naming the offending
+ * token.
  */
 FaultPlan parseFaultPlan(const std::string &text);
 

@@ -140,6 +140,11 @@ TenantManager::activate(uint64_t id, const TenantConfig &config,
                                       std::move(trace));
     if (!engine_) {
         CHERIVOKE_ASSERT(slot == 0);
+        // Sweeper injections ride in on the fault plan; surface
+        // them to the engine unless the caller wired its own.
+        if (config_.engine.sweeperPlan.empty() &&
+            !config_.faultPlan.sweeper.empty())
+            config_.engine.sweeperPlan = config_.faultPlan.sweeper;
         engine_ = std::make_unique<revoke::RevocationEngine>(
             t->allocator(), t->space(), config_.engine);
         // Route every epoch open to the owning tenant's replayer:
@@ -574,7 +579,15 @@ TenantManager::run(cache::Hierarchy *hierarchy)
             // remaining live count. PanicError (TCB bugs) and plain
             // FatalError (configuration) fall through uncontained.
             live_allocs_ += r.liveObjects() - live_before;
-            containFault(i, fault);
+            // A sweeper failure belongs to the domain whose epoch
+            // the supervisor gave up on — under cross-tenant assist
+            // that may not be the tenant that was stepping.
+            size_t victim = i;
+            if (fault.kind() == HeapFaultKind::SweeperFailure &&
+                engine_->epochOpen() &&
+                slots_[engine_->epochDomainIndex()].tenant)
+                victim = engine_->epochDomainIndex();
+            containFault(victim, fault);
         }
         ++steps_;
         result.peakAggLiveAllocs =
@@ -639,6 +652,36 @@ TenantManager::run(cache::Hierarchy *hierarchy)
     result.oomKills = oom_kills_;
     result.pressureEvents = pressure_events_;
     result.pressurePagesReclaimed = pressure_pages_reclaimed_;
+
+    result.sweeperEvents = engine_->sweeperEvents();
+    for (const revoke::SweeperEvent &ev : result.sweeperEvents) {
+        switch (ev.kind) {
+          case revoke::SweeperEventKind::Dispatch:
+            ++result.sweeperDispatches;
+            break;
+          case revoke::SweeperEventKind::Completed:
+            ++result.sweeperCompletions;
+            break;
+          case revoke::SweeperEventKind::StallDetected:
+            ++result.sweeperStalls;
+            break;
+          case revoke::SweeperEventKind::Retry:
+            ++result.sweeperRetries;
+            break;
+          case revoke::SweeperEventKind::Crash:
+            ++result.sweeperCrashes;
+            break;
+          case revoke::SweeperEventKind::ReassignToAssist:
+            ++result.sweeperReassigns;
+            break;
+          case revoke::SweeperEventKind::StwCatchup:
+            ++result.sweeperStwCatchups;
+            break;
+          case revoke::SweeperEventKind::Containment:
+            ++result.sweeperContainments;
+            break;
+        }
+    }
 
     running_ = false;
     hierarchy_ = nullptr;

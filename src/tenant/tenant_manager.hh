@@ -286,6 +286,21 @@ struct MultiTenantResult
     uint64_t pressurePagesReclaimed = 0;
     /// @}
 
+    /** @name Background-sweeper supervision (bg mode only) */
+    /// @{
+    /** Every supervision transition, in engine order (typed;
+     *  deterministic fields only — see revoke/supervisor.hh). */
+    std::vector<revoke::SweeperEvent> sweeperEvents;
+    uint64_t sweeperDispatches = 0;
+    uint64_t sweeperCompletions = 0;
+    uint64_t sweeperStalls = 0;  //!< stall detections
+    uint64_t sweeperRetries = 0; //!< watchdog retries granted
+    uint64_t sweeperCrashes = 0;
+    uint64_t sweeperReassigns = 0;   //!< ladder rung 1
+    uint64_t sweeperStwCatchups = 0; //!< ladder rung 2
+    uint64_t sweeperContainments = 0; //!< ladder rung 3
+    /// @}
+
     /** @name Aggregate peaks across the consolidated image.
      *  Live-allocation count is tracked exactly (updated every op);
      *  byte aggregates are sampled every kAggregateSampleOps ops,

@@ -230,6 +230,14 @@ TraceReplayer::injectFault(HeapFaultKind kind)
         heapFault(HeapFaultKind::CodecCorruption,
                   "injected mid-stream trace corruption at op %zu",
                   next_);
+      case HeapFaultKind::SweeperFailure:
+        // Organically this kind is only raised by the supervision
+        // ladder's containment rung (see revoke/supervisor.hh); the
+        // direct injection exists so containment coverage does not
+        // depend on staging three sweeper failures first.
+        heapFault(HeapFaultKind::SweeperFailure,
+                  "injected background-sweeper failure at op %zu",
+                  next_);
     }
     // The allocator paths above must have thrown.
     panic("fault injection of kind %s did not raise",

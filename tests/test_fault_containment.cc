@@ -249,6 +249,33 @@ TEST(FaultPlan, RejectsMalformedText)
     EXPECT_THROW(parseFaultPlan(","), FatalError);
 }
 
+TEST(FaultPlan, SweeperGrammarRoundTrips)
+{
+    // The sweeper kinds share the comma list with the tenant kinds
+    // but carry `kind@domain:epoch[:factor]`.
+    const std::string text =
+        "oom@1:50,sweeper-stall@0:2,sweeper-slow@1:0:3";
+    const FaultPlan plan = parseFaultPlan(text);
+    ASSERT_EQ(plan.injections.size(), 1u);
+    ASSERT_EQ(plan.sweeper.size(), 2u);
+    EXPECT_EQ(plan.sweeper[0].kind, SweeperFaultKind::Stall);
+    EXPECT_EQ(plan.sweeper[0].domain, 0u);
+    EXPECT_EQ(plan.sweeper[0].epoch, 2u);
+    EXPECT_EQ(plan.sweeper[0].factor, 1u);
+    EXPECT_EQ(plan.sweeper[1].kind, SweeperFaultKind::Slow);
+    EXPECT_EQ(plan.sweeper[1].factor, 3u);
+    EXPECT_EQ(plan.text(), text);
+
+    // Crash parses; the default factor 1 is not re-emitted.
+    EXPECT_EQ(parseFaultPlan("sweeper-crash@2:1:1").text(),
+              "sweeper-crash@2:1");
+
+    EXPECT_THROW(parseFaultPlan("sweeper-stall@0"), FatalError);
+    EXPECT_THROW(parseFaultPlan("sweeper-stall@x:1"), FatalError);
+    EXPECT_THROW(parseFaultPlan("sweeper-slow@0:1:0"), FatalError);
+    EXPECT_THROW(parseFaultPlan("sweeper-slow@0:1:x"), FatalError);
+}
+
 TEST(FaultPlan, ChaosKnobsParseStrictly)
 {
     // The three knobs the bench harness reads: unset -> default,
@@ -289,7 +316,7 @@ TEST(FaultPlan, SeededGenerationIsDeterministic)
     const FaultPlan a = generateFaultPlan(7, ids, ops);
     const FaultPlan b = generateFaultPlan(7, ids, ops);
     const FaultPlan c = generateFaultPlan(8, ids, ops);
-    ASSERT_EQ(a.injections.size(), kNumHeapFaultKinds);
+    ASSERT_EQ(a.injections.size(), kNumInjectableHeapFaultKinds);
     EXPECT_EQ(a.text(), b.text());
     EXPECT_NE(a.text(), c.text());
     // The generated text is valid plan grammar.

@@ -343,6 +343,40 @@ TEST(EnvParsing, StrictIntegerAndFloat)
     EXPECT_TRUE(envF64List("CHERIVOKE_TEST_KNOB").empty());
 }
 
+TEST(EnvParsing, UnknownKnobIsFatalWithSuggestion)
+{
+    // A recognised knob passes validation...
+    setenv("CHERIVOKE_TEST_KNOB", "1", 1);
+    EXPECT_NO_THROW(validateEnvironment());
+    unsetenv("CHERIVOKE_TEST_KNOB");
+
+    // ...a typo'd one fatals and names the nearest real knob, so a
+    // transposed letter can't silently run the benchmark with the
+    // knob's default instead of the requested value.
+    setenv("CHERIVOKE_BACKEDN", "color", 1);
+    try {
+        validateEnvironment();
+        FAIL() << "misspelled knob was accepted";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("CHERIVOKE_BACKEDN"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("CHERIVOKE_BACKEND"), std::string::npos)
+            << what;
+    }
+    unsetenv("CHERIVOKE_BACKEDN");
+    EXPECT_NO_THROW(validateEnvironment());
+
+    // Every knob the table advertises is itself accepted.
+    for (const std::string &knob : knownEnvKnobs()) {
+        setenv(knob.c_str(), "1", 1);
+    }
+    EXPECT_NO_THROW(validateEnvironment());
+    for (const std::string &knob : knownEnvKnobs()) {
+        unsetenv(knob.c_str());
+    }
+}
+
 TEST(TenantScope, ParseAndName)
 {
     tenant::RevocationScope scope;

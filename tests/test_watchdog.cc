@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The supervision state machines against an injectable FakeClock:
+ * watchdog arming, heartbeat-driven deadline refresh, the
+ * overrun -> bounded retry -> exponential backoff -> escalation walk,
+ * the no-spurious-fire guarantee at deadline-1, the derived-deadline
+ * model, the strike ledger, and the SweeperEvent rendering the bench
+ * gates fingerprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include "revoke/supervisor.hh"
+#include "support/clock.hh"
+#include "support/units.hh"
+
+namespace cherivoke {
+namespace revoke {
+namespace {
+
+TEST(Watchdog, UnarmedNeverFires)
+{
+    Watchdog wd;
+    EXPECT_FALSE(wd.armed());
+    EXPECT_EQ(wd.poll(0), Watchdog::Verdict::None);
+    EXPECT_EQ(wd.poll(~uint64_t{0}), Watchdog::Verdict::None);
+}
+
+TEST(Watchdog, ArmsWithDeadlineNowPlusWindow)
+{
+    support::FakeClock clock(1000);
+    Watchdog wd;
+    wd.arm(clock.nowNs(), 500, 2);
+    EXPECT_TRUE(wd.armed());
+    EXPECT_EQ(wd.deadlineNs(), 1500u);
+    EXPECT_EQ(wd.windowNs(), 500u);
+    EXPECT_EQ(wd.retries(), 0u);
+}
+
+TEST(Watchdog, NoSpuriousFireAtDeadlineMinusOne)
+{
+    support::FakeClock clock(0);
+    Watchdog wd;
+    wd.arm(clock.nowNs(), 100, 0);
+    clock.advance(99); // a sweeper finishing at deadline-1 is fine
+    EXPECT_EQ(wd.poll(clock.nowNs()), Watchdog::Verdict::None);
+    clock.advance(1); // at the deadline it fires
+    EXPECT_EQ(wd.poll(clock.nowNs()), Watchdog::Verdict::Escalate);
+    EXPECT_FALSE(wd.armed());
+}
+
+TEST(Watchdog, HeartbeatPushesDeadlineOut)
+{
+    support::FakeClock clock(0);
+    Watchdog wd;
+    wd.arm(clock.nowNs(), 100, 0);
+    for (int i = 0; i < 10; ++i) {
+        clock.advance(90); // always inside the window...
+        EXPECT_EQ(wd.poll(clock.nowNs()), Watchdog::Verdict::None);
+        wd.heartbeat(clock.nowNs()); // ...because progress refreshes
+    }
+    EXPECT_EQ(wd.deadlineNs(), 10u * 90 + 100);
+    clock.advance(100); // silence past a full window: overrun
+    EXPECT_EQ(wd.poll(clock.nowNs()), Watchdog::Verdict::Escalate);
+}
+
+TEST(Watchdog, RetryDoublesWindowThenEscalates)
+{
+    support::FakeClock clock(0);
+    Watchdog wd;
+    wd.arm(clock.nowNs(), 100, 2);
+
+    clock.advance(100);
+    EXPECT_EQ(wd.poll(clock.nowNs()), Watchdog::Verdict::Retry);
+    EXPECT_EQ(wd.retries(), 1u);
+    EXPECT_EQ(wd.windowNs(), 200u); // backoff doubled
+    EXPECT_EQ(wd.deadlineNs(), clock.nowNs() + 200);
+
+    clock.advance(199); // inside the doubled window
+    EXPECT_EQ(wd.poll(clock.nowNs()), Watchdog::Verdict::None);
+    clock.advance(1);
+    EXPECT_EQ(wd.poll(clock.nowNs()), Watchdog::Verdict::Retry);
+    EXPECT_EQ(wd.retries(), 2u);
+    EXPECT_EQ(wd.windowNs(), 400u);
+
+    clock.advance(400); // retries exhausted: the ladder takes over
+    EXPECT_EQ(wd.poll(clock.nowNs()), Watchdog::Verdict::Escalate);
+    EXPECT_FALSE(wd.armed());
+    EXPECT_EQ(wd.poll(clock.nowNs()), Watchdog::Verdict::None);
+}
+
+TEST(Watchdog, HeartbeatAfterRetryUsesDoubledWindow)
+{
+    support::FakeClock clock(0);
+    Watchdog wd;
+    wd.arm(clock.nowNs(), 100, 1);
+    clock.advance(100);
+    EXPECT_EQ(wd.poll(clock.nowNs()), Watchdog::Verdict::Retry);
+    wd.heartbeat(clock.nowNs());
+    EXPECT_EQ(wd.deadlineNs(), clock.nowNs() + 200);
+}
+
+TEST(Watchdog, DisarmSilences)
+{
+    support::FakeClock clock(0);
+    Watchdog wd;
+    wd.arm(clock.nowNs(), 100, 0);
+    wd.disarm();
+    clock.advance(1000);
+    EXPECT_EQ(wd.poll(clock.nowNs()), Watchdog::Verdict::None);
+}
+
+TEST(Watchdog, DerivedDeadlineScalesWithWorklist)
+{
+    // 1 GiB/s over N pages: the model time is N*kPageBytes ns per
+    // GiB, times the slack factor; tiny worklists sit on the floor.
+    const double rate = 1024.0 * 1024 * 1024;
+    EXPECT_EQ(derivedEpochDeadlineNs(0, rate), 10'000'000u);
+    EXPECT_EQ(derivedEpochDeadlineNs(1, rate), 10'000'000u);
+    const uint64_t big = derivedEpochDeadlineNs(1 << 20, rate);
+    // 4 GiB of worklist at 1 GiB/s with 8x slack = 32 s.
+    EXPECT_EQ(big, 32'000'000'000u);
+    // Slack scales linearly once above the floor.
+    EXPECT_EQ(derivedEpochDeadlineNs(1 << 20, rate, 16.0), 2 * big);
+}
+
+TEST(SweeperSupervisor, StrikesAccumulateAndReset)
+{
+    SweeperSupervisor sup;
+    EXPECT_EQ(sup.strikes(3), 0u);
+    EXPECT_EQ(sup.addStrike(3), 1u);
+    EXPECT_EQ(sup.addStrike(3), 2u);
+    EXPECT_EQ(sup.addStrike(1), 1u);
+    EXPECT_EQ(sup.strikes(3), 2u);
+    sup.resetStrikes(3); // slot reuse: a new tenant starts clean
+    EXPECT_EQ(sup.strikes(3), 0u);
+    EXPECT_EQ(sup.strikes(1), 1u);
+    EXPECT_EQ(sup.addStrike(3), 1u);
+}
+
+TEST(SweeperSupervisor, EventLogAndRendering)
+{
+    SweeperSupervisor sup;
+    sup.record({SweeperEventKind::Dispatch, 1, 4, 77, 0});
+    sup.record({SweeperEventKind::ReassignToAssist, 1, 4, 12, 2});
+    ASSERT_EQ(sup.events().size(), 2u);
+    EXPECT_EQ(sweeperEventLine(sup.events()[0]),
+              "dispatch@d1:e4 pages=77 attempt=0");
+    EXPECT_EQ(sweeperEventLine(sup.events()[1]),
+              "reassign-to-assist@d1:e4 pages=12 attempt=2");
+}
+
+TEST(SweeperSupervisor, EveryEventKindHasAName)
+{
+    for (size_t k = 0; k < kNumSweeperEventKinds; ++k) {
+        const char *name =
+            sweeperEventKindName(static_cast<SweeperEventKind>(k));
+        EXPECT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+    }
+}
+
+TEST(FakeClock, SetAndAdvance)
+{
+    support::FakeClock clock(5);
+    EXPECT_EQ(clock.nowNs(), 5u);
+    clock.advance(10);
+    EXPECT_EQ(clock.nowNs(), 15u);
+    clock.set(3);
+    EXPECT_EQ(clock.nowNs(), 3u);
+    support::SteadyClock steady;
+    const uint64_t a = steady.nowNs();
+    EXPECT_GE(steady.nowNs(), a);
+}
+
+} // namespace
+} // namespace revoke
+} // namespace cherivoke
