@@ -39,7 +39,7 @@ printSystems(const char *title)
  * configuration; the tenant knobs configure drivers built on
  * sim::runMultiTenantBenchmark (bench/tenant_scale):
  *   CHERIVOKE_POLICY         = stw | stop-the-world | incremental |
- *                              concurrent
+ *                              concurrent | adaptive
  *   CHERIVOKE_THREADS        = sweep worker count (default 1)
  *   CHERIVOKE_PAINT_SHARDS   = concurrent painter threads (default 1)
  *   CHERIVOKE_TENANTS        = co-resident tenant count (default 1)

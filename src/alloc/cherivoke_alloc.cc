@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "alloc/chunk.hh"
 #include "support/bitops.hh"
 #include "support/fault.hh"
 #include "support/logging.hh"
@@ -94,8 +95,24 @@ CherivokeAllocator::CherivokeAllocator(mem::AddressSpace &space,
 }
 
 void
+CherivokeAllocator::stampBirth(const cap::Capability &capability)
+{
+    if (!capability.tag())
+        return;
+    ChunkView(*mem_, capability.base() - kChunkHeader)
+        .setBirthStamp(stamper_->currentBirthStamp());
+}
+
+void
 CherivokeAllocator::free(const cap::Capability &capability)
 {
+    // Read the birth stamp before quarantineFree: rewriting the
+    // header (quarantine flag) clears the high size-word bits.
+    uint32_t birth = 0;
+    if (stamper_ && capability.tag()) {
+        birth = ChunkView(*mem_, capability.base() - kChunkHeader)
+                    .birthStamp();
+    }
     const DlAllocator::QuarantinedChunk chunk =
         dl_.quarantineFree(capability);
     if (observer_ &&
@@ -109,7 +126,7 @@ CherivokeAllocator::free(const cap::Capability &capability)
         return;
     }
     c_quarantine_merges_->increment(
-        quarantine_.add(dl_, chunk.addr, chunk.size));
+        quarantine_.add(dl_, chunk.addr, chunk.size, birth));
 }
 
 cap::Capability
@@ -146,16 +163,17 @@ CherivokeAllocator::needsSweep() const
 }
 
 PaintStats
-CherivokeAllocator::prepareSweep(unsigned paint_shards)
+CherivokeAllocator::prepareSweep(unsigned paint_shards,
+                                 uint32_t min_birth)
 {
     CHERIVOKE_ASSERT(!epochOpen(),
                      "(prepareSweep with an epoch already open)");
     CHERIVOKE_ASSERT(paint_shards > 0);
     ++sweeps_;
-    // Freeze: this epoch revokes exactly the frees made so far;
-    // later frees accumulate in a fresh quarantine for the next one.
-    frozen_ = std::move(quarantine_);
-    quarantine_ = Quarantine{};
+    // Freeze: this epoch revokes exactly the (tier-qualified) frees
+    // made so far; later frees accumulate in a fresh quarantine for
+    // the next one. min_birth == 0 moves the whole buffer.
+    frozen_ = quarantine_.splitBornSince(min_birth);
     PaintStats stats;
     // Paint payload granules only; a run's header granule may
     // legitimately hold the base of a live one-past-the-end

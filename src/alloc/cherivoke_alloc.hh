@@ -79,6 +79,24 @@ class AllocObserver
 };
 
 /**
+ * Birth-stamp source for hierarchical (generation-tier) epochs. The
+ * adaptive policy installs one per domain; the allocator then stamps
+ * every chunk at allocation time with the stamper's current epoch
+ * sequence (saturated to kBirthSaturated) so quarantined runs can be
+ * classified hot/warm/cold by age. Allocators without a stamper
+ * never touch the birth bits — their size words, and everything
+ * downstream, stay bit-identical to pre-adaptive builds.
+ */
+class TierStamper
+{
+  public:
+    virtual ~TierStamper() = default;
+
+    /** Stamp for a chunk allocated now (>= 1; 0 means unstamped). */
+    virtual uint32_t currentBirthStamp() const = 0;
+};
+
+/**
  * Paint every shard's quarantined runs, one worker thread per
  * non-empty shard, each through a shard-restricted ShadowMap::View
  * (payload spans only: run headers are skipped exactly as the serial
@@ -103,12 +121,16 @@ class CherivokeAllocator
     malloc(uint64_t size)
     {
         const cap::Capability c = dl_.malloc(size);
+        if (stamper_)
+            stampBirth(c);
         return observer_ ? observer_->onAlloc(c) : c;
     }
     cap::Capability
     calloc(uint64_t n, uint64_t size)
     {
         const cap::Capability c = dl_.calloc(n, size);
+        if (stamper_)
+            stampBirth(c);
         return observer_ ? observer_->onAlloc(c) : c;
     }
 
@@ -155,8 +177,15 @@ class CherivokeAllocator
      * are identical for every shard count, and the painted shadow
      * bytes are identical to a serial paint.
      * @return paint statistics for the cost model
+     *
+     * With @p min_birth > 0 the freeze is *tier-scoped*: only runs
+     * whose (minimum-member) birth stamp is >= min_birth freeze and
+     * paint; older runs stay quarantined for a deeper epoch. The
+     * default (0) freezes everything — bit-identical to the
+     * historical unscoped path.
      */
-    PaintStats prepareSweep(unsigned paint_shards = 1);
+    PaintStats prepareSweep(unsigned paint_shards = 1,
+                            uint32_t min_birth = 0);
 
     /** Unpaint and return the *frozen* runs to the free lists.
      *  @return number of internal frees (after aggregation) */
@@ -180,6 +209,8 @@ class CherivokeAllocator
     {
         return quarantine_.totalBytes() + frozen_.totalBytes();
     }
+    /** Bytes in the open epoch's (possibly tier-scoped) freeze. */
+    uint64_t frozenBytes() const { return frozen_.totalBytes(); }
     uint64_t footprintBytes() const { return dl_.footprintBytes(); }
 
     uint64_t sweepsPrepared() const { return sweeps_; }
@@ -187,9 +218,14 @@ class CherivokeAllocator
     /** Install/replace the revocation-backend hook (may be null). */
     void setObserver(AllocObserver *observer) { observer_ = observer; }
     AllocObserver *observer() const { return observer_; }
+
+    /** Install/remove the birth stamper (may be null). */
+    void setTierStamper(TierStamper *stamper) { stamper_ = stamper; }
+    TierStamper *tierStamper() const { return stamper_; }
     /// @}
 
   private:
+    void stampBirth(const cap::Capability &capability);
     DlAllocator dl_;
     ShadowMap shadow_;
     Quarantine quarantine_; //!< frees since the last prepareSweep
@@ -198,6 +234,7 @@ class CherivokeAllocator
     mem::TaggedMemory *mem_;
     uint64_t sweeps_ = 0;
     AllocObserver *observer_ = nullptr;
+    TierStamper *stamper_ = nullptr;
     /** Cached counter (in dl_'s group): runs merged per free. */
     stats::Counter *c_quarantine_merges_ = nullptr;
 };

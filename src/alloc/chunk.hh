@@ -58,8 +58,24 @@ enum ChunkFlags : uint64_t
  */
 constexpr unsigned kIdTagShift = 40;
 constexpr uint64_t kIdTagMask = 0xffffffULL << kIdTagShift;
+
+/**
+ * Birth stamp (hierarchical-epoch generation tiers) packed into bits
+ * [39:32] of the size word, beside the object-ID tag. The adaptive
+ * policy stamps each chunk at allocation with a saturating epoch
+ * sequence (min(seq, 254)); the tier classifier ages chunks against
+ * the full-width current sequence, so a saturated stamp only ever
+ * *overestimates* age — conservative, never unsound. 0 means
+ * "unstamped" (non-adaptive builds never write these bits, keeping
+ * their size words bit-identical). setHeader clears the stamp (the
+ * stamper re-writes it at allocation time, like the ID tag).
+ */
+constexpr unsigned kBirthShift = 32;
+constexpr uint64_t kBirthMask = 0xffULL << kBirthShift;
+/** Largest storable stamp; stamps saturate here. */
+constexpr uint64_t kBirthSaturated = 0xff;
 /** Bits of the size word that actually encode the chunk size. */
-constexpr uint64_t kSizeMask = ~(kIdTagMask | kFlagMask);
+constexpr uint64_t kSizeMask = ~(kIdTagMask | kBirthMask | kFlagMask);
 
 /** Header bytes before the payload. */
 constexpr uint64_t kChunkHeader = 16;
@@ -128,6 +144,23 @@ class ChunkView
         write(addr_ + 8, (sizeWord() & ~kIdTagMask) |
                              (static_cast<uint64_t>(id) << kIdTagShift &
                               kIdTagMask));
+    }
+
+    /** Birth stamp (generation-tier epoch sequence) in [39:32]. */
+    uint32_t
+    birthStamp() const
+    {
+        return static_cast<uint32_t>((sizeWord() & kBirthMask) >>
+                                     kBirthShift);
+    }
+
+    void
+    setBirthStamp(uint32_t stamp)
+    {
+        write(addr_ + 8,
+              (sizeWord() & ~kBirthMask) |
+                  (static_cast<uint64_t>(stamp) << kBirthShift &
+                   kBirthMask));
     }
 
     void setPrevSize(uint64_t s) { write(addr_, s); }

@@ -122,7 +122,8 @@ BoundaryIndex::clear()
 // ---- Quarantine ------------------------------------------------
 
 unsigned
-Quarantine::add(DlAllocator &dl, uint64_t addr, uint64_t size)
+Quarantine::add(DlAllocator &dl, uint64_t addr, uint64_t size,
+                uint32_t birth)
 {
     CHERIVOKE_ASSERT(size > 0);
     total_bytes_ += size;
@@ -130,13 +131,16 @@ Quarantine::add(DlAllocator &dl, uint64_t addr, uint64_t size)
     ordered_valid_ = false;
     unsigned merged = 0;
 
-    // Merge with a run ending exactly where this chunk starts.
+    // Merge with a run ending exactly where this chunk starts. The
+    // merged run keeps the *minimum* birth: its oldest member
+    // governs which tier may release it.
     const uint32_t prev_slot = by_end_.find(addr);
     if (prev_slot != BoundaryIndex::kNotFound) {
         const QuarantineRun prev = runs_[prev_slot];
         eraseSlot(prev_slot);
         addr = prev.addr;
         size += prev.size;
+        birth = std::min(birth, prev.birth);
         ++merges_;
         ++merged;
     }
@@ -145,6 +149,7 @@ Quarantine::add(DlAllocator &dl, uint64_t addr, uint64_t size)
     const uint32_t next_slot = by_start_.find(addr + size);
     if (next_slot != BoundaryIndex::kNotFound) {
         size += runs_[next_slot].size;
+        birth = std::min(birth, runs_[next_slot].birth);
         eraseSlot(next_slot);
         ++merges_;
         ++merged;
@@ -152,7 +157,7 @@ Quarantine::add(DlAllocator &dl, uint64_t addr, uint64_t size)
 
     dl.mergeQuarantinedRun(addr, size);
     const uint32_t slot = static_cast<uint32_t>(runs_.size());
-    runs_.push_back(QuarantineRun{addr, size});
+    runs_.push_back(QuarantineRun{addr, size, birth});
     by_start_.insert(addr, slot);
     by_end_.insert(addr + size, slot);
     return merged;
@@ -164,7 +169,7 @@ Quarantine::addBatch(DlAllocator &dl,
 {
     unsigned merged = 0;
     for (const QuarantineRun &c : chunks)
-        merged += add(dl, c.addr, c.size);
+        merged += add(dl, c.addr, c.size, c.birth);
     return merged;
 }
 
@@ -230,6 +235,54 @@ Quarantine::shardedRuns(size_t shards) const
     }
     CHERIVOKE_ASSERT(it == ordered.end());
     return out;
+}
+
+uint64_t
+Quarantine::bytesBornSince(uint32_t min_birth) const
+{
+    uint64_t bytes = 0;
+    for (const QuarantineRun &run : runs_)
+        if (run.birth >= min_birth)
+            bytes += run.size;
+    return bytes;
+}
+
+void
+Quarantine::adoptRun(const QuarantineRun &run)
+{
+    const uint32_t slot = static_cast<uint32_t>(runs_.size());
+    runs_.push_back(run);
+    by_start_.insert(run.addr, slot);
+    by_end_.insert(run.end(), slot);
+    total_bytes_ += run.size;
+}
+
+Quarantine
+Quarantine::splitBornSince(uint32_t min_birth)
+{
+    Quarantine young;
+    if (min_birth == 0) {
+        // Everything qualifies: hand the whole buffer over.
+        young = std::move(*this);
+        *this = Quarantine{};
+        return young;
+    }
+    const std::vector<QuarantineRun> ordered = orderedRuns();
+    // Counters survive the split on the parent (they track mutator
+    // activity, not current contents); the young side starts clean.
+    runs_.clear();
+    by_start_.clear();
+    by_end_.clear();
+    ordered_.clear();
+    ordered_valid_ = false;
+    total_bytes_ = 0;
+    for (const QuarantineRun &run : ordered) {
+        if (run.birth >= min_birth)
+            young.adoptRun(run);
+        else
+            adoptRun(run);
+    }
+    return young;
 }
 
 uint64_t

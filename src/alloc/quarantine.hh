@@ -37,6 +37,13 @@ struct QuarantineRun
 {
     uint64_t addr = 0;
     uint64_t size = 0;
+    /**
+     * Oldest birth stamp of any chunk merged into the run (0 =
+     * unstamped). Merging takes the minimum so a run is exactly as
+     * old as its oldest member — a tier-scoped release that requires
+     * birth >= cutoff can never free a byte older than the cutoff.
+     */
+    uint32_t birth = 0;
 
     uint64_t end() const { return addr + size; }
 };
@@ -110,7 +117,8 @@ class Quarantine
      * header through the allocator.
      * @return merges performed for this add (0, 1 or 2)
      */
-    unsigned add(DlAllocator &dl, uint64_t addr, uint64_t size);
+    unsigned add(DlAllocator &dl, uint64_t addr, uint64_t size,
+                 uint32_t birth = 0);
 
     /**
      * Quarantine a whole drained batch of chunks — the remote-free
@@ -161,10 +169,25 @@ class Quarantine
      */
     uint64_t release(DlAllocator &dl);
 
+    /** Quarantined bytes in runs with birth >= @p min_birth. */
+    uint64_t bytesBornSince(uint32_t min_birth) const;
+
+    /**
+     * Split off every run with birth >= @p min_birth into a new
+     * quarantine (the tier-scoped freeze of a hierarchical epoch),
+     * leaving older runs behind. Runs never straddle the cutoff:
+     * merging keeps the minimum birth, so any run containing an
+     * older-than-cutoff chunk stays behind whole. Deterministic
+     * (partition walks the address-ordered view); no chunk headers
+     * are rewritten.
+     */
+    Quarantine splitBornSince(uint32_t min_birth);
+
     bool empty() const { return runs_.empty(); }
 
   private:
     void eraseSlot(uint32_t slot);
+    void adoptRun(const QuarantineRun &run);
 
     /** Dense, unordered run slab; hash entries point into it. */
     std::vector<QuarantineRun> runs_;

@@ -305,6 +305,10 @@ TaggedMemory::writeCap(uint64_t addr, const cap::Capability &capability)
         counters_.counter("mem.cap_writes").increment();
         if (pt_.setCapDirty(addr))
             counters_.counter("mem.capdirty_traps").increment();
+        for (const CapStoreListener &l : cap_store_listeners_) {
+            if (addr >= l.lo && addr < l.hi)
+                l.fn(addr);
+        }
     } else {
         page.clearGranuleTag(g);
         counters_.counter("mem.untagged_cap_writes").increment();
@@ -341,6 +345,29 @@ TaggedMemory::readCap(uint64_t addr) const
         counters_.counter("mem.load_barrier_strips").increment();
     }
     return cap::Capability::unpack(lo, hi, tag);
+}
+
+uint64_t
+TaggedMemory::addCapStoreListener(uint64_t lo, uint64_t hi,
+                                  std::function<void(uint64_t)> fn)
+{
+    const uint64_t id = next_listener_id_++;
+    cap_store_listeners_.push_back(
+        CapStoreListener{id, lo, hi, std::move(fn)});
+    return id;
+}
+
+void
+TaggedMemory::removeCapStoreListener(uint64_t id)
+{
+    for (size_t i = 0; i < cap_store_listeners_.size(); ++i) {
+        if (cap_store_listeners_[i].id == id) {
+            cap_store_listeners_.erase(cap_store_listeners_.begin() +
+                                       static_cast<long>(i));
+            return;
+        }
+    }
+    CHERIVOKE_ASSERT(false, "(unknown cap-store listener id)");
 }
 
 void

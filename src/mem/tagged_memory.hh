@@ -352,6 +352,28 @@ class TaggedMemory
     void copyPreservingTags(uint64_t dst, uint64_t src, uint64_t size);
     /// @}
 
+    /** @name Capability-store listeners (tier tracking) */
+    /// @{
+
+    /**
+     * Observe every *tagged* capability store whose address falls in
+     * [lo, hi) — the hook the adaptive policy's generation-tier map
+     * uses to track which pages recently received capabilities, so a
+     * tier-scoped sweep can skip pages that cannot hold a pointer to
+     * a young chunk. Untagged (tag-clearing) stores are not
+     * reported: they cannot create a dangling capability.
+     *
+     * Listeners fire on the storing thread with no synchronisation;
+     * register/remove only at quiet points (no stores in flight).
+     * @return an id for removeCapStoreListener
+     */
+    uint64_t addCapStoreListener(uint64_t lo, uint64_t hi,
+                                 std::function<void(uint64_t)> fn);
+
+    /** Remove a listener by the id addCapStoreListener returned. */
+    void removeCapStoreListener(uint64_t id);
+    /// @}
+
     /** @name Checked (CheriABI) access through a capability */
     /// @{
     uint64_t loadU64(const cap::Capability &auth, uint64_t addr) const;
@@ -461,8 +483,18 @@ class TaggedMemory
     /** Clear tags of all granules overlapping [addr, addr+size). */
     void clearTagsInRange(uint64_t addr, uint64_t size);
 
+    struct CapStoreListener
+    {
+        uint64_t id = 0;
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+        std::function<void(uint64_t)> fn;
+    };
+
     PageDirectory dir_;
     PageTable pt_;
+    std::vector<CapStoreListener> cap_store_listeners_;
+    uint64_t next_listener_id_ = 1;
     size_t soft_budget_ = 0; //!< resident-page soft cap; 0 = none
     /** mutable: read paths account traffic too. */
     mutable stats::CounterGroup counters_;

@@ -1,35 +1,59 @@
 #include "revoke/analytical_model.hh"
 
-#include "support/logging.hh"
+#include <algorithm>
 
 namespace cherivoke {
 namespace revoke {
 
+namespace {
+
+/**
+ * Saturation ceiling for degenerate denominators (zero scan rate,
+ * zero quarantine): far beyond any meaningful overhead or period,
+ * but finite — callers that compare, sort or serialise model output
+ * never see NaN/inf. Valid inputs are untouched (the cap is only
+ * reachable with a non-positive denominator).
+ */
+constexpr double kSaturated = 1e18;
+
+} // namespace
+
 double
 predictedRuntimeOverhead(const OverheadParams &params)
 {
-    CHERIVOKE_ASSERT(params.scanRateBytesPerSec > 0 &&
-                     params.quarantineFraction > 0,
-                     "(model denominators must be positive)");
-    return params.freeRateBytesPerSec * params.pointerDensity /
-           (params.scanRateBytesPerSec * params.quarantineFraction);
+    const double demand =
+        params.freeRateBytesPerSec * params.pointerDensity;
+    const double capacity =
+        params.scanRateBytesPerSec * params.quarantineFraction;
+    if (!(capacity > 0)) {
+        // No sweep capacity: infinite overhead if anything is being
+        // freed, none at all if nothing is.
+        return demand > 0 ? kSaturated : 0.0;
+    }
+    return std::min(demand / capacity, kSaturated);
 }
 
 double
 sweepPeriodSeconds(uint64_t quarantine_bytes,
                    double free_rate_bytes_per_sec)
 {
-    CHERIVOKE_ASSERT(free_rate_bytes_per_sec > 0);
-    return static_cast<double>(quarantine_bytes) /
-           free_rate_bytes_per_sec;
+    if (!(free_rate_bytes_per_sec > 0)) {
+        // Nothing is freed: the quarantine never fills.
+        return quarantine_bytes > 0 ? kSaturated : 0.0;
+    }
+    return std::min(static_cast<double>(quarantine_bytes) /
+                        free_rate_bytes_per_sec,
+                    kSaturated);
 }
 
 double
 sweepSeconds(uint64_t swept_bytes, double scan_rate_bytes_per_sec)
 {
-    CHERIVOKE_ASSERT(scan_rate_bytes_per_sec > 0);
-    return static_cast<double>(swept_bytes) /
-           scan_rate_bytes_per_sec;
+    if (!(scan_rate_bytes_per_sec > 0))
+        return swept_bytes > 0 ? kSaturated : 0.0;
+    return std::min(static_cast<double>(swept_bytes) /
+                        scan_rate_bytes_per_sec,
+                    kSaturated);
 }
 
 double

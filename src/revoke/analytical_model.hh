@@ -8,6 +8,11 @@
  * The numerator is an application-specific cost factor; ScanRate is a
  * property of the memory system and sweep kernel; QuarantineFraction
  * trades memory for time (figure 9).
+ *
+ * Degenerate inputs saturate instead of dividing by zero: a
+ * non-positive denominator yields a large finite value (or 0 when
+ * the numerator is also 0), never NaN/inf — the model's output is
+ * always safe to compare, rank and serialise.
  */
 
 #ifndef CHERIVOKE_REVOKE_ANALYTICAL_MODEL_HH

@@ -30,6 +30,7 @@
 #define CHERIVOKE_REVOKE_BACKENDS_BACKEND_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,25 @@
 
 namespace cherivoke {
 namespace revoke {
+
+/**
+ * Tier scope for the next epoch (hierarchical epochs, PoisonCap
+ * style). A scoped epoch releases only quarantined runs whose birth
+ * stamp is >= minBirth, and may skip sweeping pages the
+ * @p pageQualifies predicate rules out (pages that provably hold no
+ * capability stored recently enough to reference a chunk that young;
+ * skipped pages are counted in SweepStats::pagesSkippedTier). The
+ * default value is a full-depth epoch — the classic behaviour.
+ * Backends whose revocation mechanics cannot be scoped (color
+ * recycling scans, object-ID compaction) ignore it.
+ */
+struct EpochScope
+{
+    uint32_t minBirth = 0;
+    std::function<bool(uint64_t page_addr)> pageQualifies;
+
+    bool scoped() const { return minBirth != 0; }
+};
 
 /** Statistics for one complete revocation epoch. */
 struct EpochStats
@@ -159,6 +179,11 @@ class RevocationBackend : public alloc::AllocObserver
      *  concurrently with the mutator and wants the load-side
      *  revocation barrier (sweep-family backends install it). */
     virtual void beginEpoch(EpochStats &epoch, bool want_barrier) = 0;
+
+    /** Set the tier scope for subsequent epochs (hierarchical
+     *  epochs). Default: ignored — every epoch is full-depth.
+     *  Backends that honour it (sweep) apply it in beginEpoch. */
+    virtual void setEpochScope(EpochScope scope) { (void)scope; }
 
     /** Advance the epoch by up to @p max_pages units of work.
      *  @return units still remaining */

@@ -54,6 +54,11 @@ class ColorBackend final : public SweepBackend
 
     void finishEpoch(EpochStats &epoch) override;
 
+    /** Recycling scans must observe the whole heap: a retired
+     *  color's stale capabilities can be anywhere, so tier scoping
+     *  is ignored and every epoch stays full-depth. */
+    void setEpochScope(EpochScope scope) override { (void)scope; }
+
     /** @name Introspection (tests, benches) */
     /// @{
     unsigned poolColors() const { return pool_colors_; }

@@ -16,11 +16,13 @@ SweepBackend::needsRevocation() const
 void
 SweepBackend::beginEpoch(EpochStats &epoch, bool want_barrier)
 {
-    epoch.bytesReleased = ctx_.allocator->quarantinedBytes();
-
-    // Freeze + paint this epoch's revocation set (sharded shadow-map
-    // views when configured).
-    epoch.paint = ctx_.allocator->prepareSweep(ctx_.paintShards);
+    // Freeze + paint this epoch's (possibly tier-scoped) revocation
+    // set (sharded shadow-map views when configured). With the
+    // default full-depth scope the frozen bytes equal the whole
+    // quarantine at entry — the historical bytesReleased value.
+    epoch.paint =
+        ctx_.allocator->prepareSweep(ctx_.paintShards, scope_.minBirth);
+    epoch.bytesReleased = ctx_.allocator->frozenBytes();
 
     if (want_barrier) {
         // The barrier: loads of painted-base capabilities are
@@ -43,6 +45,22 @@ SweepBackend::beginEpoch(EpochStats &epoch, bool want_barrier)
         *ctx_.space, ctx_.allocator->shadowMap());
 
     worklist_ = ctx_.sweeper->buildWorklist(*ctx_.space, epoch.sweep);
+    if (scope_.scoped() && scope_.pageQualifies) {
+        // Tier-local sweep: drop pages that provably cannot hold a
+        // capability to any chunk young enough to be in this scope
+        // (no tagged store landed there since the scope's birth
+        // cutoff). Registers were already swept above — they are
+        // part of every epoch regardless of depth.
+        std::vector<uint64_t> kept;
+        kept.reserve(worklist_.size());
+        for (const uint64_t page : worklist_) {
+            if (scope_.pageQualifies(page))
+                kept.push_back(page);
+            else
+                ++epoch.sweep.pagesSkippedTier;
+        }
+        worklist_ = std::move(kept);
+    }
     next_ = 0;
 }
 

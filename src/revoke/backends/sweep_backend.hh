@@ -34,6 +34,14 @@ class SweepBackend : public RevocationBackend
                 cache::Hierarchy *hierarchy) override;
     void finishEpoch(EpochStats &epoch) override;
 
+    /** Honour tier scoping: a scoped epoch freezes only runs born
+     *  at/after scope.minBirth and prunes the page worklist through
+     *  scope.pageQualifies. */
+    void setEpochScope(EpochScope scope) override
+    {
+        scope_ = std::move(scope);
+    }
+
     size_t
     pagesRemaining() const override
     {
@@ -52,6 +60,7 @@ class SweepBackend : public RevocationBackend
     bool barrier_on_ = false;
     std::vector<uint64_t> worklist_;
     size_t next_ = 0;
+    EpochScope scope_{};
 };
 
 } // namespace revoke

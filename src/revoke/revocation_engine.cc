@@ -16,8 +16,21 @@ policyName(PolicyKind kind)
       case PolicyKind::StopTheWorld: return "stop-the-world";
       case PolicyKind::Incremental: return "incremental";
       case PolicyKind::Concurrent: return "concurrent";
+      case PolicyKind::Adaptive: return "adaptive";
     }
     return "unknown";
+}
+
+const std::vector<PolicyKind> &
+allPolicies()
+{
+    static const std::vector<PolicyKind> kAll = {
+        PolicyKind::StopTheWorld,
+        PolicyKind::Incremental,
+        PolicyKind::Concurrent,
+        PolicyKind::Adaptive,
+    };
+    return kAll;
 }
 
 bool
@@ -33,6 +46,10 @@ parsePolicy(const std::string &name, PolicyKind &out)
     }
     if (name == "concurrent") {
         out = PolicyKind::Concurrent;
+        return true;
+    }
+    if (name == "adaptive") {
+        out = PolicyKind::Adaptive;
         return true;
     }
     return false;
@@ -142,15 +159,31 @@ makePolicy(PolicyKind kind)
         return std::make_unique<IncrementalPolicy>();
       case PolicyKind::Concurrent:
         return std::make_unique<ConcurrentPolicy>();
+      case PolicyKind::Adaptive:
+        return makeAdaptivePolicy();
     }
     panic("unknown policy kind");
 }
+
+namespace {
+
+/** makePolicy, but routing the adaptive kind through the engine's
+ *  configured tunables. */
+std::unique_ptr<RevocationPolicy>
+makePolicyFor(PolicyKind kind, const AdaptiveConfig &adaptive)
+{
+    if (kind == PolicyKind::Adaptive)
+        return makeAdaptivePolicy(adaptive);
+    return makePolicy(kind);
+}
+
+} // namespace
 
 RevocationEngine::RevocationEngine(
     alloc::CherivokeAllocator &allocator, mem::AddressSpace &space,
     EngineConfig config)
     : sweeper_(config.sweep), config_(config),
-      policy_(makePolicy(config.policy)),
+      policy_(makePolicyFor(config.policy, config.adaptive)),
       sweeper_plan_(config.sweeperPlan)
 {
     CHERIVOKE_ASSERT(config_.pagesPerSlice > 0);
@@ -235,7 +268,20 @@ RevocationEngine::setDomainPolicy(size_t index, PolicyKind kind)
     CHERIVOKE_ASSERT(!open_ || epoch_domain_ != index,
                      "(policy change under an open epoch)");
     domains_[index].policy =
-        kind == config_.policy ? nullptr : makePolicy(kind);
+        kind == config_.policy
+            ? nullptr
+            : makePolicyFor(kind, config_.adaptive);
+}
+
+void
+RevocationEngine::setDomainPolicyObject(
+    size_t index, std::unique_ptr<RevocationPolicy> policy)
+{
+    CHERIVOKE_ASSERT(index < domains_.size() &&
+                     !domains_[index].retired);
+    CHERIVOKE_ASSERT(!open_ || epoch_domain_ != index,
+                     "(policy change under an open epoch)");
+    domains_[index].policy = std::move(policy);
 }
 
 void
@@ -302,6 +348,10 @@ RevocationEngine::retireDomain(size_t index,
     Domain &dom = domains_[index];
     CHERIVOKE_ASSERT(!dom.retired, "(retireDomain twice)");
     drainDomain(index, hierarchy);
+    // Let the governing policy drop per-domain state while the
+    // allocator is still alive (the adaptive policy uninstalls its
+    // birth stamper and store listener here).
+    domainPolicy(index).onDomainRetired(*this, index);
     dom.retired = true;
     if (dom.allocator &&
         dom.allocator->observer() == dom.backend.get())

@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "alloc/cherivoke_alloc.hh"
+#include "revoke/adaptive.hh"
 #include "revoke/backends/backend.hh"
 #include "revoke/supervisor.hh"
 #include "revoke/sweeper.hh"
@@ -93,6 +94,7 @@ enum class PolicyKind
     StopTheWorld,
     Incremental,
     Concurrent,
+    Adaptive,
 };
 
 /** Human-readable policy name ("stop-the-world", ...). */
@@ -100,9 +102,18 @@ const char *policyName(PolicyKind kind);
 
 /**
  * Parse a policy name ("stw" / "stop-the-world", "incremental",
- * "concurrent"). @return true and sets @p out on success.
+ * "concurrent", "adaptive"). @return true and sets @p out on
+ * success.
  */
 bool parsePolicy(const std::string &name, PolicyKind &out);
+
+/**
+ * The policy registry: every PolicyKind, with its canonical name.
+ * Benches iterate this instead of hard-coding policy lists, so a
+ * new policy cannot be silently skipped (bench/policy_sweep gates
+ * coverage against it in ctest).
+ */
+const std::vector<PolicyKind> &allPolicies();
 
 /** Engine configuration. */
 struct EngineConfig
@@ -138,6 +149,9 @@ struct EngineConfig
      *  injected sweeper faults are states, observed at rendezvous
      *  points. */
     support::Clock *clock = nullptr;
+    /** Adaptive-policy tunables (used when any domain runs
+     *  PolicyKind::Adaptive; inert otherwise). */
+    AdaptiveConfig adaptive{};
     /** Deterministic sweeper fault injections
      *  (`sweeper-stall@domain:epoch` and friends), consumed as
      *  matching epochs open. */
@@ -175,6 +189,18 @@ class RevocationPolicy
      *  Default: a sequence of bounded pagesPerSlice pauses. */
     virtual EpochStats runEpoch(RevocationEngine &engine,
                                 cache::Hierarchy *hierarchy);
+
+    /**
+     * Domain @p index is being retired (its allocator is still
+     * alive, but will not be after this returns). Policies holding
+     * per-domain state (adaptive) detach it here; default: no-op.
+     */
+    virtual void onDomainRetired(RevocationEngine &engine,
+                                 size_t index)
+    {
+        (void)engine;
+        (void)index;
+    }
 };
 
 /** Instantiate the built-in policy for @p kind. */
@@ -228,6 +254,11 @@ class RevocationEngine
      * while this domain's epoch is open.
      */
     void setDomainPolicy(size_t index, PolicyKind kind);
+
+    /** As above with an explicit policy object (tests injecting a
+     *  configured adaptive policy). Null restores the default. */
+    void setDomainPolicyObject(size_t index,
+                               std::unique_ptr<RevocationPolicy> policy);
 
     /**
      * Give domain @p index its own revocation backend (overriding
@@ -288,6 +319,17 @@ class RevocationEngine
 
     /** Cumulative statistics of epochs begun on domain @p index. */
     const EngineTotals &domainTotals(size_t index) const;
+
+    /** Domain @p index's allocator / address space (policy and test
+     *  access; the domain must not be retired). */
+    alloc::CherivokeAllocator &domainAllocator(size_t index)
+    {
+        return *domains_.at(index).allocator;
+    }
+    mem::AddressSpace &domainSpace(size_t index)
+    {
+        return *domains_.at(index).space;
+    }
     /// @}
 
     /** @name Policy-driven operation */
@@ -388,6 +430,12 @@ class RevocationEngine
     Sweeper &sweeper() { return sweeper_; }
     RevocationPolicy &policy() { return *policy_; }
     const EngineConfig &config() const { return config_; }
+
+    /** The deterministic model-time clock the adaptive policy
+     *  consumes; trace drivers advance it by each operation's
+     *  virtual duration. Never wall time. */
+    CostModelClock &modelClock() { return model_clock_; }
+    const CostModelClock &modelClock() const { return model_clock_; }
     const EngineTotals &totals() const { return totals_; }
     const EpochStats &lastEpoch() const { return last_; }
 
@@ -467,6 +515,7 @@ class RevocationEngine
     std::function<void(size_t)> epoch_open_hook_;
     Sweeper sweeper_;
     EngineConfig config_;
+    CostModelClock model_clock_;
     std::unique_ptr<RevocationPolicy> policy_;
     EngineTotals totals_;
     EpochStats last_;

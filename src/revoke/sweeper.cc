@@ -27,6 +27,7 @@ SweepStats::operator+=(const SweepStats &o)
     pagesConsidered += o.pagesConsidered;
     pagesSwept += o.pagesSwept;
     pagesSkippedPte += o.pagesSkippedPte;
+    pagesSkippedTier += o.pagesSkippedTier;
     pagesCleaned += o.pagesCleaned;
     linesSwept += o.linesSwept;
     linesSkippedTags += o.linesSkippedTags;
@@ -44,6 +45,7 @@ SweepStats::operator==(const SweepStats &o) const
     return pagesConsidered == o.pagesConsidered &&
            pagesSwept == o.pagesSwept &&
            pagesSkippedPte == o.pagesSkippedPte &&
+           pagesSkippedTier == o.pagesSkippedTier &&
            pagesCleaned == o.pagesCleaned &&
            linesSwept == o.linesSwept &&
            linesSkippedTags == o.linesSkippedTags &&

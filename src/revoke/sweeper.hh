@@ -60,6 +60,7 @@ struct SweepStats
     uint64_t pagesConsidered = 0;  //!< pages in sweepable segments
     uint64_t pagesSwept = 0;       //!< pages actually walked
     uint64_t pagesSkippedPte = 0;  //!< skipped via PTE CapDirty
+    uint64_t pagesSkippedTier = 0; //!< skipped by tier-scoped epochs
     uint64_t pagesCleaned = 0;     //!< CapDirty false positives reset
     uint64_t linesSwept = 0;       //!< lines whose data was visited
     uint64_t linesSkippedTags = 0; //!< skipped via CLoadTags

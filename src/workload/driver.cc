@@ -106,6 +106,10 @@ TraceReplayer::step(cache::Hierarchy *hierarchy)
     auto &memory = space_->memory();
     const TraceOp &op = trace_->ops[next_++];
     result_.virtualSeconds += op.dt;
+    // Model time advances in lock-step with the trace, so adaptive
+    // scheduling sees only deterministic, replayable inputs.
+    if (engine_)
+        engine_->modelClock().advanceSeconds(op.dt);
     switch (op.kind) {
       case OpKind::Malloc: {
         const cap::Capability c = alloc_->malloc(op.size);

@@ -8,6 +8,8 @@
  * utilities.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "alloc/cherivoke_alloc.hh"
@@ -287,13 +289,22 @@ TEST(EpochAccounting, DoublePrepareSweepPanics)
 // Small utilities
 // ---------------------------------------------------------------
 
-TEST(ModelEdges, RejectsDegenerateDenominators)
+TEST(ModelEdges, DegenerateDenominatorsSaturateFinite)
 {
+    // The model saturates degenerate inputs instead of panicking:
+    // the adaptive controller feeds it live measurements (which can
+    // legitimately be zero early in a run), so its output must
+    // always be finite and comparable. Property coverage lives in
+    // tests/test_adaptive.cc.
     revoke::OverheadParams p;
+    p.freeRateBytesPerSec = 1;
+    p.pointerDensity = 1;
     p.scanRateBytesPerSec = 0;
     p.quarantineFraction = 0.25;
-    EXPECT_THROW(revoke::predictedRuntimeOverhead(p), PanicError);
-    EXPECT_THROW(revoke::sweepPeriodSeconds(1, 0), PanicError);
+    const double v = revoke::predictedRuntimeOverhead(p);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 1e12);
+    EXPECT_TRUE(std::isfinite(revoke::sweepPeriodSeconds(1, 0)));
 }
 
 TEST(TraceEdges, VirtualSecondsSumsAllOps)

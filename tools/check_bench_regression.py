@@ -50,6 +50,7 @@ STRIP_PATTERNS = [
     "suffix:_sec",      # wall_sec, containment_sec...
     "suffix:_per_sec",  # ops_per_sec, pages_per_sec...
     "suffix:_rate",     # scan_rate, raw_span_rate
+    "suffix:_ms",       # elapsed_ms (BENCH_adaptive.json)
 ]
 
 KNOWN_SCHEMES = ("key", "substr", "suffix")
@@ -215,7 +216,32 @@ def self_test():
             self.assertTrue(vol("ops_per_sec"))
             self.assertTrue(vol("scan_rate"))
             self.assertTrue(vol("hw_concurrency"))
+            self.assertTrue(vol("elapsed_ms"))
             self.assertFalse(vol("caps_examined"))
+            # Deterministic fields the adaptive gate emits must
+            # never be stripped as noise.
+            self.assertFalse(vol("adaptive_ok"))
+            self.assertFalse(vol("best_static"))
+
+        def test_adaptive_artifact_shape(self):
+            # BENCH_adaptive.json: elapsed_ms is the only volatile
+            # field; the gate rows and verdicts survive the strip.
+            vol = compile_strip_list(STRIP_PATTERNS)
+            artifact = {
+                "bench": "policy_sweep",
+                "rows": [{"benchmark": "mcf", "adaptive": 1.01,
+                          "best_static": 1.01}],
+                "adaptive_ok": True,
+                "deterministic": True,
+                "elapsed_ms": 1234.5,
+            }
+            stripped = strip_volatile(artifact, vol)
+            self.assertNotIn("elapsed_ms", stripped)
+            self.assertEqual(
+                stripped["rows"],
+                [{"benchmark": "mcf", "adaptive": 1.01,
+                  "best_static": 1.01}])
+            self.assertTrue(stripped["adaptive_ok"])
 
         def test_strip_recurses(self):
             vol = compile_strip_list(["suffix:_sec"])
